@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+"quick" scale (seconds, not hours), measures the wall-clock cost of the
+regeneration with pytest-benchmark, and prints the rows the figure plots so
+the run doubles as a report.  Use ``--benchmark-only`` to skip the unit-test
+suite and ``-s`` to see the printed tables.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, format_table
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark.
+
+    The experiment drivers are deterministic and relatively slow (they
+    simulate millions of routing decisions), so a single round is both
+    sufficient and necessary to keep the suite fast.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(result: ExperimentResult, max_rows: int = 30) -> None:
+    """Print the regenerated rows below the benchmark timings."""
+    print()
+    print(f"== {result.experiment_id}: {result.title} ==")
+    rows = result.rows[:max_rows]
+    print(format_table(rows))
+    if len(result.rows) > max_rows:
+        print(f"... ({len(result.rows) - max_rows} more rows)")
+    for note in result.notes:
+        print(f"note: {note}")

@@ -1,0 +1,19 @@
+"""Benchmark / regeneration of Figure 1 (imbalance vs. scale on Wikipedia)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig01_scale_imbalance as driver
+
+
+def test_fig01_scale_imbalance(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig01Config.quick())
+    report(result)
+    # Shape check: at the largest simulated scale the head-aware schemes beat PKG.
+    largest = max(row["workers"] for row in result.rows)
+    pkg = result.filtered(scheme="PKG", workers=largest)[0]["imbalance"]
+    dchoices = result.filtered(scheme="D-C", workers=largest)[0]["imbalance"]
+    wchoices = result.filtered(scheme="W-C", workers=largest)[0]["imbalance"]
+    assert dchoices <= pkg
+    assert wchoices <= pkg

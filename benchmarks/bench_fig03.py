@@ -1,0 +1,20 @@
+"""Benchmark / regeneration of Figure 3 (head cardinality vs. skew)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig03_head_cardinality as driver
+
+
+def test_fig03_head_cardinality(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig03Config.quick())
+    report(result)
+    # Shape check: the head is always a tiny fraction of the key space and
+    # the looser threshold (1/(5n)) never yields a smaller head than 2/n.
+    assert all(row["head_cardinality"] < 1000 for row in result.rows)
+    for workers in (50, 100):
+        for skew in (0.4, 2.0):
+            loose = result.filtered(workers=workers, skew=skew, theta="1/(5n)")[0]
+            tight = result.filtered(workers=workers, skew=skew, theta="2/n")[0]
+            assert loose["head_cardinality"] >= tight["head_cardinality"]

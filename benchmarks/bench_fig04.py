@@ -1,0 +1,17 @@
+"""Benchmark / regeneration of Figure 4 (fraction of workers used by D-C)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig04_fraction_workers as driver
+
+
+def test_fig04_fraction_of_workers(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig04Config.quick())
+    report(result)
+    # Shape check: at n >= 50 the solver always stays strictly below n.
+    for row in result.rows:
+        assert 2 <= row["d"] <= row["workers"]
+        if row["workers"] >= 50:
+            assert row["d_over_n"] < 1.0

@@ -1,0 +1,17 @@
+"""Benchmark / regeneration of Figure 5 (memory overhead vs. PKG)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig05_memory_vs_pkg as driver
+
+
+def test_fig05_memory_vs_pkg(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig05Config.quick())
+    report(result)
+    # Shape check: overhead is non-negative, bounded, and D-C <= W-C.
+    for row in result.rows:
+        assert row["dchoices_vs_pkg_pct"] >= -1e-9
+        assert row["dchoices_vs_pkg_pct"] <= row["wchoices_vs_pkg_pct"] + 1e-9
+        assert row["wchoices_vs_pkg_pct"] <= 40.0

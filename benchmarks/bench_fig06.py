@@ -1,0 +1,16 @@
+"""Benchmark / regeneration of Figure 6 (memory overhead vs. shuffle grouping)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig06_memory_vs_sg as driver
+
+
+def test_fig06_memory_vs_sg(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig06Config.quick())
+    report(result)
+    # Shape check: both schemes save the lion's share of SG's memory.
+    for row in result.rows:
+        assert row["dchoices_vs_sg_pct"] < -50.0
+        assert row["wchoices_vs_sg_pct"] < -50.0

@@ -1,0 +1,16 @@
+"""Benchmark / regeneration of Figure 7 (threshold sweep for W-C and RR)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig07_threshold_sweep as driver
+
+
+def test_fig07_threshold_sweep(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig07Config.quick())
+    report(result)
+    # Shape check: with a sufficiently low threshold, W-C keeps the imbalance
+    # small even at the largest scale and the highest skew of the sweep.
+    rows = result.filtered(scheme="W-C", theta="1/(8n)", workers=50, skew=2.0)
+    assert rows and rows[0]["imbalance"] < 0.02

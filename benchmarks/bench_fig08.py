@@ -1,0 +1,21 @@
+"""Benchmark / regeneration of Figure 8 (head/tail load split per worker)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig08_head_tail_load as driver
+
+
+def test_fig08_head_tail_load(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig08Config.quick())
+    report(result)
+    # Shape check: every scheme's per-worker percentages sum to 100, and W-C
+    # ends up closer to the ideal 1/n than PKG.
+    ideal = 100.0 / driver.Fig08Config.quick().num_workers
+    for scheme in ("PKG", "W-C", "RR"):
+        rows = result.filtered(scheme=scheme)
+        assert abs(sum(row["total_load_pct"] for row in rows) - 100.0) < 1e-6
+    pkg_max = max(row["total_load_pct"] for row in result.filtered(scheme="PKG"))
+    wc_max = max(row["total_load_pct"] for row in result.filtered(scheme="W-C"))
+    assert abs(wc_max - ideal) <= abs(pkg_max - ideal)

@@ -1,0 +1,21 @@
+"""Benchmark / regeneration of Figure 9 (analytical d vs. empirical minimum d)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig09_optimal_d as driver
+
+
+def test_fig09_optimal_d(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig09Config.quick())
+    report(result)
+    # Shape check: whenever the empirical search found a feasible d, the
+    # analytical value is in the same ballpark (within the probing stride on
+    # the low side, and not wildly larger on the high side).
+    stride = driver.Fig09Config.quick().d_stride
+    for row in result.rows:
+        assert 2 <= row["analytical_d"] <= row["workers"]
+        if row["empirical_min_d"] is not None:
+            assert row["analytical_d"] >= row["empirical_min_d"] - stride
+            assert row["analytical_d"] <= 3 * row["empirical_min_d"] + stride

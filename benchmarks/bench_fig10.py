@@ -1,0 +1,23 @@
+"""Benchmark / regeneration of Figure 10 (imbalance vs. skew on Zipf streams)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig10_zipf_imbalance as driver
+
+
+def test_fig10_zipf_imbalance(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig10Config.quick())
+    report(result)
+    # Shape check: at the hardest point of the quick grid (largest n, largest
+    # z), the head-aware schemes dominate PKG.
+    config = driver.Fig10Config.quick()
+    workers = max(config.worker_counts)
+    skew = max(config.skews)
+    values = {
+        row["scheme"]: row["imbalance"]
+        for row in result.filtered(workers=workers, skew=skew)
+    }
+    assert values["D-C"] <= values["PKG"]
+    assert values["W-C"] <= values["PKG"]

@@ -1,0 +1,22 @@
+"""Benchmark / regeneration of Figure 11 (imbalance on real-world workloads)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig11_real_imbalance as driver
+
+
+def test_fig11_real_imbalance(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig11Config.quick())
+    report(result)
+    # Shape check: at the largest simulated scale the head-aware schemes are
+    # never worse than PKG on any of the datasets.
+    config = driver.Fig11Config.quick()
+    workers = max(config.worker_counts)
+    for dataset in config.datasets:
+        values = {
+            row["scheme"]: row["imbalance"]
+            for row in result.filtered(dataset=dataset, workers=workers)
+        }
+        assert values["W-C"] <= values["PKG"] + 1e-9

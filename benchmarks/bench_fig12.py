@@ -1,0 +1,27 @@
+"""Benchmark / regeneration of Figure 12 (imbalance over time)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig12_imbalance_over_time as driver
+
+
+def test_fig12_imbalance_over_time(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig12Config.quick())
+    report(result)
+    # Shape check: the time series is present for every (dataset, scheme,
+    # workers) combination and snapshots are ordered by message count.
+    config = driver.Fig12Config.quick()
+    expected_series = len(config.datasets) * 3 * len(config.worker_counts)
+    series_keys = {
+        (row["dataset"], row["scheme"], row["workers"]) for row in result.rows
+    }
+    assert len(series_keys) == expected_series
+    for key in series_keys:
+        counts = [
+            row["messages"]
+            for row in result.rows
+            if (row["dataset"], row["scheme"], row["workers"]) == key
+        ]
+        assert counts == sorted(counts)

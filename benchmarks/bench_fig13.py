@@ -1,0 +1,22 @@
+"""Benchmark / regeneration of Figure 13 (cluster throughput)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig13_throughput as driver
+
+
+def test_fig13_throughput(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig13Config.quick())
+    report(result)
+    # Shape check (the paper's ordering at the highest skew): KG is the
+    # slowest, D-C and W-C keep pace with SG.
+    skew = max(driver.Fig13Config.quick().skews)
+    values = {
+        row["scheme"]: row["throughput_per_s"] for row in result.filtered(skew=skew)
+    }
+    assert values["KG"] <= values["SG"]
+    assert values["KG"] <= values["D-C"]
+    assert values["D-C"] >= 0.8 * values["SG"]
+    assert values["W-C"] >= 0.8 * values["SG"]

@@ -1,0 +1,19 @@
+"""Benchmark / regeneration of Figure 14 (cluster latency)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import fig14_latency as driver
+
+
+def test_fig14_latency(benchmark):
+    result = run_once(benchmark, driver.run, driver.Fig14Config.quick())
+    report(result)
+    # Shape check (the paper's ordering at the highest skew): the 99th
+    # percentile of KG dominates everyone, D-C / W-C stay close to SG.
+    skew = max(driver.Fig14Config.quick().skews)
+    values = {row["scheme"]: row["p99_ms"] for row in result.filtered(skew=skew)}
+    assert values["SG"] <= values["KG"]
+    assert values["W-C"] <= values["KG"]
+    assert values["D-C"] <= values["KG"]

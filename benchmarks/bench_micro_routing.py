@@ -1,0 +1,47 @@
+"""Micro-benchmarks: per-message routing cost of each grouping scheme.
+
+Not a paper figure, but the number a DSPE integrator cares about: how much
+CPU the partitioner adds per tuple on the source.  SpaceSaving and the hash
+family keep the head-aware schemes within a small constant factor of PKG.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partitioning.registry import create_partitioner
+from repro.workloads.zipf_stream import ZipfWorkload
+
+NUM_WORKERS = 50
+NUM_MESSAGES = 20_000
+
+SCHEMES = ("KG", "SG", "PKG", "D-C", "W-C", "RR")
+
+
+@pytest.fixture(scope="module")
+def message_keys():
+    return list(ZipfWorkload(1.4, 10_000, NUM_MESSAGES, seed=9))
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_routing_throughput(benchmark, scheme, message_keys):
+    def route_stream():
+        partitioner = create_partitioner(scheme, num_workers=NUM_WORKERS, seed=1)
+        for key in message_keys:
+            partitioner.route(key)
+        return partitioner.messages_routed
+
+    routed = benchmark.pedantic(route_stream, rounds=3, iterations=1)
+    assert routed == NUM_MESSAGES
+
+
+def test_space_saving_update_rate(benchmark, message_keys):
+    from repro.sketches.space_saving import SpaceSaving
+
+    def feed_sketch():
+        sketch = SpaceSaving(capacity=500)
+        sketch.add_all(message_keys)
+        return sketch.total
+
+    total = benchmark.pedantic(feed_sketch, rounds=3, iterations=1)
+    assert total == NUM_MESSAGES

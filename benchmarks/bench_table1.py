@@ -1,0 +1,19 @@
+"""Benchmark / regeneration of Table I (dataset summary)."""
+
+from __future__ import annotations
+
+from _bench_utils import report, run_once
+
+from repro.experiments import table1_datasets as driver
+
+
+def test_table1_datasets(benchmark):
+    result = run_once(benchmark, driver.run, driver.Table1Config.quick())
+    report(result)
+    # Shape check: all four datasets are present and the synthetic stand-ins
+    # reproduce the published p1 where it is defined (WP, TW, CT).
+    symbols = {row["symbol"] for row in result.rows}
+    assert symbols == {"WP", "TW", "CT", "ZF"}
+    for row in result.rows:
+        if row["symbol"] in ("WP", "TW"):
+            assert abs(row["repro_p1_pct"] - row["paper_p1_pct"]) < 2.0

@@ -1,0 +1,16 @@
+"""Pytest configuration for the benchmark suite.
+
+The benchmark files live next to this conftest and are collected when
+running ``pytest benchmarks/ --benchmark-only``; the shared helpers live in
+:mod:`_bench_utils` (this directory is added to ``sys.path`` by pytest's
+rootdir handling, so the plain import works from any invocation directory).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Make `from _bench_utils import ...` robust regardless of how pytest was
+# invoked (e.g. from the repository root or from inside benchmarks/).
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,73 @@
+"""Monitoring a drifting stream: cashtag aggregation with a rotating head.
+
+The Cashtag workload of the paper changes drastically over time — which
+ticker symbols are hot in one hour are cold in the next.  This stresses the
+heavy-hitter tracking inside D-Choices / W-Choices: the sketch must pick up
+the new head quickly enough to keep the load balanced.
+
+The example replays a drifting stream hour by hour, reports the imbalance of
+PKG versus W-Choices per hour, and prints which keys each source currently
+considers hot at the end of every "hour".
+
+Run with::
+
+    python examples/cashtag_drift_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import CashtagLikeWorkload, create_partitioner
+from repro.simulation.metrics import LoadTracker
+
+NUM_WORKERS = 80
+NUM_SOURCES = 3
+NUM_MESSAGES = 120_000
+NUM_HOURS = 6
+
+
+def run_scheme(scheme: str) -> list[float]:
+    """Replay the stream through ``scheme`` and return one imbalance per hour."""
+    workload = CashtagLikeWorkload(
+        num_messages=NUM_MESSAGES, num_keys=2_900, num_hours=NUM_HOURS, seed=3
+    )
+    sources = [
+        create_partitioner(scheme, num_workers=NUM_WORKERS, seed=5)
+        for _ in range(NUM_SOURCES)
+    ]
+    tracker = LoadTracker(NUM_WORKERS)
+    hourly_imbalance: list[float] = []
+    messages_per_hour = NUM_MESSAGES // NUM_HOURS
+
+    for index, key in enumerate(workload):
+        source = sources[index % NUM_SOURCES]
+        tracker.record(source.route(key))
+        if (index + 1) % messages_per_hour == 0:
+            hourly_imbalance.append(tracker.imbalance())
+            if scheme == "W-C":
+                head = sorted(sources[0].current_head())[:5]
+                print(f"  hour {len(hourly_imbalance)}: source 0 tracks head {head}")
+    return hourly_imbalance
+
+
+def main() -> None:
+    print(
+        f"Cashtag-like stream: {NUM_MESSAGES:,} messages, {NUM_HOURS} hours, "
+        f"full head rotation every hour, {NUM_WORKERS} workers\n"
+    )
+    print("W-Choices (head tracked online by each source):")
+    wchoices = run_scheme("W-C")
+    print("\nPer-hour cumulative imbalance I(t):")
+    pkg = run_scheme("PKG")
+    print(f"{'hour':>6s} {'PKG':>12s} {'W-C':>12s}")
+    for hour, (pkg_value, wc_value) in enumerate(zip(pkg, wchoices), start=1):
+        print(f"{hour:6d} {pkg_value:12.6f} {wc_value:12.6f}")
+    print(
+        "\nDespite the drift, the SpaceSaving sketch re-learns the head every "
+        "hour and W-Choices keeps the imbalance low.  At this scale (80 "
+        "workers) the hottest cashtags exceed the ideal capacity of two "
+        "workers, so PKG settles at a visibly higher imbalance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+only so the package can be installed in editable mode on machines without the
+``wheel`` package (offline environments), where pip falls back to the legacy
+``setup.py develop`` code path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

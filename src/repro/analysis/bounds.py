@@ -1,0 +1,89 @@
+"""PKG imbalance bounds and the head-threshold range they induce.
+
+Section III-A of the paper derives the range of useful thresholds from the
+original PKG analysis (Nasir et al., ICDE 2015):
+
+* if ``p1 > 2/n`` the expected imbalance is lower-bounded by
+  ``(p1/2 - 1/n) * m`` — it grows linearly with the stream length, i.e. PKG
+  breaks down; hence every key above ``2/n`` must be in the head
+  (``theta <= 2/n``);
+* if ``p1 <= 1/(5n)`` PKG's imbalance is bounded with probability at least
+  ``1 - 1/n``; keys below that frequency never need special treatment
+  (``theta >= 1/(5n)``).
+
+The default threshold used throughout the evaluation is the conservative end
+of the range, ``theta = 1/(5n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class ThetaRange:
+    """Admissible range of head thresholds for a deployment of ``n`` workers."""
+
+    lower: float
+    upper: float
+    default: float
+
+    def clamp(self, theta: float) -> float:
+        """Clamp an arbitrary threshold into the admissible range."""
+        return min(max(theta, self.lower), self.upper)
+
+    def __contains__(self, theta: object) -> bool:
+        if not isinstance(theta, (int, float)):
+            return False
+        return self.lower <= float(theta) <= self.upper
+
+
+def theta_range(num_workers: int) -> ThetaRange:
+    """The threshold range ``[1/(5n), 2/n]`` with the paper's default ``1/(5n)``."""
+    if num_workers < 1:
+        raise AnalysisError(f"num_workers must be >= 1, got {num_workers}")
+    lower = 1.0 / (5.0 * num_workers)
+    upper = 2.0 / num_workers
+    return ThetaRange(lower=lower, upper=upper, default=lower)
+
+
+def pkg_safe_threshold(num_workers: int) -> float:
+    """Frequency below which PKG alone balances the key (``1/(5n)``)."""
+    return theta_range(num_workers).lower
+
+
+def pkg_breaks_down(p1: float, num_workers: int) -> bool:
+    """True when the hottest key exceeds the capacity of two workers (``p1 > 2/n``)."""
+    if not 0.0 <= p1 <= 1.0:
+        raise AnalysisError(f"p1 must be in [0, 1], got {p1}")
+    if num_workers < 1:
+        raise AnalysisError(f"num_workers must be >= 1, got {num_workers}")
+    return p1 > 2.0 / num_workers
+
+
+def pkg_imbalance_lower_bound(p1: float, num_workers: int, num_messages: int) -> float:
+    """Lower bound on PKG's expected *absolute* imbalance when ``p1 > 2/n``.
+
+    The paper states that for ``p1 > 2/n`` the expected imbalance at time
+    ``m`` is at least ``(p1/2 - 1/n) * m``.  Returns 0 when PKG does not break
+    down, because in that regime the bound does not apply.
+    """
+    if num_messages < 0:
+        raise AnalysisError(f"num_messages must be >= 0, got {num_messages}")
+    if not pkg_breaks_down(p1, num_workers):
+        return 0.0
+    return (p1 / 2.0 - 1.0 / num_workers) * num_messages
+
+
+def max_workers_for_pkg(p1: float) -> int:
+    """Largest deployment for which PKG can still absorb the hottest key.
+
+    Inverts ``p1 <= 2/n``: PKG needs ``n <= 2/p1``.  For a Zipf(2.0) stream
+    (``p1`` close to 0.6) this gives 3 workers, matching the observation in
+    the paper's introduction.
+    """
+    if not 0.0 < p1 <= 1.0:
+        raise AnalysisError(f"p1 must be in (0, 1], got {p1}")
+    return max(1, int(2.0 / p1))

@@ -1,0 +1,92 @@
+"""Head of the key distribution: ``H = {k : p_k >= theta}``.
+
+These helpers answer the questions behind Figure 3 of the paper (how many
+keys end up in the head for a given threshold and skew) and provide the
+utility used by the experiments to compute exact heads from either an
+analytical distribution or a measured frequency vector.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.bounds import theta_range
+from repro.analysis.zipf import ZipfDistribution
+from repro.exceptions import AnalysisError
+from repro.types import Key
+
+
+def select_threshold(num_workers: int, fraction_of_default: float = 1.0) -> float:
+    """The paper's default threshold ``1/(5n)``, optionally scaled.
+
+    ``fraction_of_default`` lets experiments sweep thresholds relative to the
+    default (e.g. Figure 7 sweeps ``2/n, 1/n, 1/(2n), 1/(4n), 1/(8n)``,
+    expressed here as multiples of ``1/(5n)``).
+    """
+    if fraction_of_default <= 0.0:
+        raise AnalysisError(
+            f"fraction_of_default must be positive, got {fraction_of_default}"
+        )
+    return theta_range(num_workers).default * fraction_of_default
+
+
+def head_cardinality(distribution: ZipfDistribution, theta: float) -> int:
+    """Number of keys whose probability is at least ``theta`` (Figure 3)."""
+    if theta <= 0.0:
+        raise AnalysisError(f"theta must be positive, got {theta}")
+    return distribution.keys_above(theta)
+
+
+def head_mass(distribution: ZipfDistribution, theta: float) -> float:
+    """Total probability carried by the head."""
+    return distribution.prefix_mass(head_cardinality(distribution, theta))
+
+
+def head_keys(
+    frequencies: Mapping[Key, int] | Sequence[int],
+    theta: float,
+    total: int | None = None,
+) -> list[Key]:
+    """Keys whose measured relative frequency is at least ``theta``.
+
+    Accepts either a mapping ``key -> count`` (returns the qualifying keys)
+    or a plain sequence of counts (returns the qualifying indices).
+    """
+    if theta <= 0.0:
+        raise AnalysisError(f"theta must be positive, got {theta}")
+    if isinstance(frequencies, Mapping):
+        counts = frequencies
+    else:
+        counts = {index: count for index, count in enumerate(frequencies)}
+    if total is None:
+        total = sum(counts.values())
+    if total <= 0:
+        return []
+    cutoff = theta * total
+    selected = [key for key, count in counts.items() if count >= cutoff]
+    selected.sort(key=lambda key: counts[key], reverse=True)
+    return selected
+
+
+def head_probabilities(
+    distribution: ZipfDistribution, theta: float
+) -> np.ndarray:
+    """Probability vector of the head keys, ordered by rank."""
+    cardinality = head_cardinality(distribution, theta)
+    return distribution.probabilities[:cardinality].copy()
+
+
+def uniform_head_upper_bound(num_workers: int, theta: float | None = None) -> int:
+    """Worst-case head size for any distribution at threshold ``theta``.
+
+    At most ``1/theta`` keys can each have probability >= theta; with the
+    default ``theta = 1/(5n)`` this is ``5n`` keys, the figure quoted in
+    Section III-A.
+    """
+    if theta is None:
+        theta = theta_range(num_workers).default
+    if theta <= 0.0:
+        raise AnalysisError(f"theta must be positive, got {theta}")
+    return int(np.floor(1.0 / theta))

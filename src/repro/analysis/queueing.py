@@ -1,0 +1,130 @@
+"""Back-of-the-envelope queueing model linking imbalance to cluster metrics.
+
+The paper's Q4 experiments show that load imbalance translates into lower
+throughput and higher latency because the most loaded worker becomes a
+bottleneck.  This module captures that mechanism analytically for the
+deterministic-service cluster of :mod:`repro.cluster`:
+
+* a worker that receives a fraction ``phi`` of an input rate ``lambda`` is
+  stable only while ``phi * lambda < mu`` (``mu`` = 1/service time);
+* therefore the sustainable throughput of the whole cluster is
+  ``min(lambda, mu / phi_max)`` where ``phi_max`` is the share of the most
+  loaded worker — which is exactly ``1/n + I(m)`` by the definition of the
+  imbalance metric;
+* once a worker saturates, its queue grows until the senders' in-flight
+  windows are exhausted, so the waiting time approaches
+  ``(total credit routed to that worker) * service_time``.
+
+These formulas are used by tests to cross-check the discrete-event simulator
+and are handy for quick what-if questions ("how much throughput do I lose at
+imbalance 0.1 on 80 workers?") without running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterModel:
+    """Static description of a cluster for the analytical model."""
+
+    num_workers: int
+    service_time_ms: float
+    #: Aggregate input rate the sources can generate (messages per second).
+    offered_load_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise AnalysisError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.service_time_ms <= 0.0:
+            raise AnalysisError(
+                f"service_time_ms must be positive, got {self.service_time_ms}"
+            )
+        if self.offered_load_per_second <= 0.0:
+            raise AnalysisError(
+                "offered_load_per_second must be positive, got "
+                f"{self.offered_load_per_second}"
+            )
+
+    @property
+    def worker_capacity_per_second(self) -> float:
+        """Messages per second one worker can process."""
+        return 1000.0 / self.service_time_ms
+
+    @property
+    def cluster_capacity_per_second(self) -> float:
+        """Aggregate capacity with perfectly balanced load."""
+        return self.num_workers * self.worker_capacity_per_second
+
+
+def max_load_share(imbalance: float, num_workers: int) -> float:
+    """Share of traffic on the most loaded worker: ``1/n + I(m)``."""
+    if num_workers < 1:
+        raise AnalysisError(f"num_workers must be >= 1, got {num_workers}")
+    if not 0.0 <= imbalance <= 1.0:
+        raise AnalysisError(f"imbalance must be in [0, 1], got {imbalance}")
+    return min(1.0, 1.0 / num_workers + imbalance)
+
+
+def sustainable_throughput(model: ClusterModel, imbalance: float) -> float:
+    """Maximum input rate the cluster can absorb at the given imbalance.
+
+    The bottleneck worker receives ``phi_max`` of the input, so the cluster
+    saturates when ``phi_max * rate`` reaches one worker's capacity; below
+    that, the cluster simply forwards the offered load.
+    """
+    share = max_load_share(imbalance, model.num_workers)
+    bottleneck_limit = model.worker_capacity_per_second / share
+    return min(model.offered_load_per_second, bottleneck_limit)
+
+
+def throughput_ratio(model: ClusterModel, imbalance_a: float, imbalance_b: float) -> float:
+    """Throughput of scenario A relative to scenario B (e.g. D-C vs. PKG)."""
+    throughput_b = sustainable_throughput(model, imbalance_b)
+    if throughput_b == 0.0:
+        raise AnalysisError("reference scenario has zero throughput")
+    return sustainable_throughput(model, imbalance_a) / throughput_b
+
+
+def bottleneck_queue_latency_ms(
+    model: ClusterModel,
+    imbalance: float,
+    total_in_flight: int,
+) -> float:
+    """Steady-state latency bound at the bottleneck worker, in milliseconds.
+
+    If the most loaded worker is saturated, the senders keep it supplied with
+    work up to their aggregate in-flight window; a message arriving at the
+    back of that queue waits for the whole backlog.  If the worker is not
+    saturated the latency is just the service time.
+
+    ``total_in_flight`` is the total credit the sources may have outstanding
+    (``num_sources * max_pending_per_source`` in the cluster simulator).
+    The returned value is an *upper bound* on the average waiting time of a
+    long run: at marginal saturation a finite stream ends before the backlog
+    fills the whole credit window, so measured latencies sit below it.
+    """
+    if total_in_flight < 1:
+        raise AnalysisError(f"total_in_flight must be >= 1, got {total_in_flight}")
+    share = max_load_share(imbalance, model.num_workers)
+    arrival_rate = share * model.offered_load_per_second
+    if arrival_rate <= model.worker_capacity_per_second:
+        return model.service_time_ms
+    # Saturated: the backlog converges to (roughly) the share of the global
+    # in-flight window that targets this worker.
+    backlog = share * total_in_flight
+    return max(model.service_time_ms, backlog * model.service_time_ms)
+
+
+def latency_ratio(
+    model: ClusterModel,
+    imbalance_a: float,
+    imbalance_b: float,
+    total_in_flight: int,
+) -> float:
+    """Bottleneck latency of scenario A relative to scenario B."""
+    latency_b = bottleneck_queue_latency_ms(model, imbalance_b, total_in_flight)
+    return bottleneck_queue_latency_ms(model, imbalance_a, total_in_flight) / latency_b

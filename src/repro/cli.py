@@ -1,0 +1,108 @@
+"""Command-line interface: ``repro-slb``.
+
+Three sub-commands:
+
+* ``list`` — show the available experiments (one per table/figure);
+* ``run <experiment-id>`` — run one experiment and print its rows
+  (``--scale paper`` uses the paper-scale parameters, default is ``quick``);
+* ``simulate`` — run an ad-hoc simulation of one scheme on a Zipf workload
+  and print the imbalance (handy for quick what-if questions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.common import print_result
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+from repro.simulation.runner import run_simulation
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-slb",
+        description=(
+            "Reproduction toolkit for 'When Two Choices Are not Enough' "
+            "(Nasir et al., ICDE 2016)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig1, fig13, table1")
+    run_parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="parameter scale (default: quick)",
+    )
+    run_parser.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="also write the rows to PATH (.csv or .json)",
+    )
+
+    sim_parser = subparsers.add_parser(
+        "simulate", help="ad-hoc simulation of one scheme on a Zipf stream"
+    )
+    sim_parser.add_argument("--scheme", default="D-C", help="grouping scheme name")
+    sim_parser.add_argument("--workers", type=int, default=50)
+    sim_parser.add_argument("--sources", type=int, default=5)
+    sim_parser.add_argument("--skew", type=float, default=1.5)
+    sim_parser.add_argument("--keys", type=int, default=10_000)
+    sim_parser.add_argument("--messages", type=int, default=500_000)
+    sim_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-slb`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            entry = get_experiment(experiment_id)
+            print(f"{experiment_id:8s}  {entry.title}")
+        return 0
+
+    if args.command == "run":
+        result = run_experiment(args.experiment, scale=args.scale)
+        print_result(result)
+        if args.export:
+            from repro.reporting.export import write_result
+
+            written = write_result(result, args.export)
+            print(f"rows written to {written}")
+        return 0
+
+    if args.command == "simulate":
+        workload = ZipfWorkload(
+            exponent=args.skew,
+            num_keys=args.keys,
+            num_messages=args.messages,
+            seed=args.seed,
+        )
+        result = run_simulation(
+            workload,
+            scheme=args.scheme,
+            num_workers=args.workers,
+            num_sources=args.sources,
+            seed=args.seed,
+        )
+        for name, value in result.summary().items():
+            print(f"{name}: {value}")
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Event queue primitives for the discrete-event cluster simulation."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any
+
+from repro.exceptions import SimulationError
+
+
+class EventType(Enum):
+    """Kinds of events the cluster engine processes."""
+
+    #: A source is ready to emit its next message (has window credit).
+    SOURCE_EMIT = auto()
+    #: A worker finished servicing the message at the head of its queue.
+    WORKER_DONE = auto()
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """One scheduled event.
+
+    Ordering is by time, then by insertion sequence so simultaneous events
+    are processed in FIFO order (deterministic runs).
+    """
+
+    time: float
+    sequence: int
+    event_type: EventType = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A minimal deterministic priority queue of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, event_type: EventType, payload: Any = None) -> None:
+        if time < 0.0:
+            raise SimulationError(f"event time must be >= 0, got {time}")
+        heapq.heappush(
+            self._heap, Event(time, next(self._counter), event_type, payload)
+        )
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("popping from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,70 @@
+"""High-level helpers to run cluster experiments (Figures 13 and 14)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.results import ClusterResult
+from repro.cluster.topology import ClusterTopology
+from repro.types import Key
+from repro.workloads.base import Workload
+
+
+def run_cluster_experiment(
+    workload: Workload | Iterable[Key],
+    scheme: str,
+    num_sources: int = 48,
+    num_workers: int = 80,
+    service_time_ms: float = 1.0,
+    source_overhead_ms: float | None = None,
+    max_pending_per_source: int = 100,
+    seed: int = 0,
+    scheme_options: dict[str, Any] | None = None,
+) -> ClusterResult:
+    """Run one grouping scheme on the simulated Storm-like cluster.
+
+    Defaults reproduce the paper's Q4 setup (48 sources, 80 workers, 1 ms
+    per-message processing delay).
+
+    Examples
+    --------
+    >>> from repro.workloads import ZipfWorkload
+    >>> workload = ZipfWorkload(exponent=2.0, num_keys=1000, num_messages=2000)
+    >>> result = run_cluster_experiment(workload, "SG", num_sources=4,
+    ...                                 num_workers=8)
+    >>> result.throughput_per_second > 0
+    True
+    """
+    kwargs: dict[str, Any] = {}
+    if source_overhead_ms is not None:
+        kwargs["source_overhead_ms"] = source_overhead_ms
+    topology = ClusterTopology(
+        scheme=scheme,
+        num_sources=num_sources,
+        num_workers=num_workers,
+        service_time_ms=service_time_ms,
+        max_pending_per_source=max_pending_per_source,
+        seed=seed,
+        scheme_options=scheme_options or {},
+        **kwargs,
+    )
+    engine = ClusterEngine(topology)
+    return engine.run(iter(workload))
+
+
+def compare_schemes(
+    workload_factory: Callable[[], Workload | Iterable[Key]],
+    schemes: Sequence[str],
+    **kwargs,
+) -> list[ClusterResult]:
+    """Run several schemes on fresh copies of the same workload.
+
+    ``workload_factory`` is invoked once per scheme so each run consumes its
+    own stream; keyword arguments are forwarded to
+    :func:`run_cluster_experiment`.
+    """
+    return [
+        run_cluster_experiment(workload_factory(), scheme, **kwargs)
+        for scheme in schemes
+    ]

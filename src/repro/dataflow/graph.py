@@ -1,0 +1,230 @@
+"""Topology declaration: vertices, edges and validation.
+
+A :class:`Topology` is a DAG whose vertices are operator groups (a factory
+plus a parallelism) and whose edges carry the grouping scheme used to
+partition the stream flowing between two groups.  The builder validates the
+graph shape (unknown vertices, duplicate names, cycles) before the runtime
+ever instantiates an operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+from repro.operators.base import Operator
+from repro.partitioning.registry import canonical_name
+
+
+@dataclass(frozen=True, slots=True)
+class Vertex:
+    """One operator group.
+
+    Attributes
+    ----------
+    name:
+        Unique vertex name.
+    factory:
+        Callable ``factory(instance_id) -> Operator`` building one parallel
+        instance.
+    parallelism:
+        Number of instances of this operator.
+    """
+
+    name: str
+    factory: Callable[[int], Operator]
+    parallelism: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("vertex name must not be empty")
+        if self.parallelism < 1:
+            raise ConfigurationError(
+                f"parallelism of {self.name!r} must be >= 1, got {self.parallelism}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A partitioned stream between two vertices.
+
+    Attributes
+    ----------
+    source, target:
+        Names of the upstream and downstream vertices.
+    scheme:
+        Grouping scheme name (canonicalised through the partitioner registry).
+    scheme_options:
+        Extra keyword arguments for the partitioner (theta, epsilon, ...).
+    """
+
+    source: str
+    target: str
+    scheme: str = "SG"
+    scheme_options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # canonical_name raises ConfigurationError for unknown schemes
+        object.__setattr__(self, "scheme", canonical_name(self.scheme))
+
+
+class Topology:
+    """A validated DAG of operator groups.
+
+    Examples
+    --------
+    >>> from repro.operators.aggregations import CountAggregator
+    >>> topology = Topology("counts")
+    >>> topology.add_vertex("counter", CountAggregator, parallelism=4)
+    >>> topology.set_source("counter", scheme="D-C")
+    >>> topology.vertex("counter").parallelism
+    4
+    """
+
+    #: Name of the implicit vertex representing the external input stream.
+    SOURCE = "__source__"
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ConfigurationError("topology name must not be empty")
+        self._name = name
+        self._vertices: dict[str, Vertex] = {}
+        self._edges: list[Edge] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def vertices(self) -> dict[str, Vertex]:
+        return dict(self._vertices)
+
+    @property
+    def edges(self) -> list[Edge]:
+        return list(self._edges)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(
+        self,
+        name: str,
+        factory: Callable[[int], Operator],
+        parallelism: int = 1,
+    ) -> "Topology":
+        """Add an operator group; returns self for chaining."""
+        if name in self._vertices or name == self.SOURCE:
+            raise ConfigurationError(f"vertex {name!r} already defined")
+        self._vertices[name] = Vertex(name=name, factory=factory, parallelism=parallelism)
+        return self
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        scheme: str = "SG",
+        **scheme_options: Any,
+    ) -> "Topology":
+        """Connect two vertices with a partitioned stream."""
+        for endpoint in (source, target):
+            if endpoint != self.SOURCE and endpoint not in self._vertices:
+                raise ConfigurationError(f"unknown vertex {endpoint!r}")
+        if target == self.SOURCE:
+            raise ConfigurationError("the external input cannot be a target")
+        edge = Edge(source=source, target=target, scheme=scheme,
+                    scheme_options=dict(scheme_options))
+        self._edges.append(edge)
+        return self
+
+    def set_source(self, target: str, scheme: str = "SG", **scheme_options: Any) -> "Topology":
+        """Declare which vertex consumes the external input stream."""
+        return self.add_edge(self.SOURCE, target, scheme=scheme, **scheme_options)
+
+    # ------------------------------------------------------------------ #
+    # queries / validation
+    # ------------------------------------------------------------------ #
+    def vertex(self, name: str) -> Vertex:
+        if name not in self._vertices:
+            raise ConfigurationError(f"unknown vertex {name!r}")
+        return self._vertices[name]
+
+    def outgoing(self, source: str) -> list[Edge]:
+        return [edge for edge in self._edges if edge.source == source]
+
+    def incoming(self, target: str) -> list[Edge]:
+        return [edge for edge in self._edges if edge.target == target]
+
+    def source_edges(self) -> list[Edge]:
+        """Edges fed by the external input stream."""
+        return self.outgoing(self.SOURCE)
+
+    def validate(self) -> None:
+        """Check the topology is a connected, acyclic, runnable graph."""
+        if not self._vertices:
+            raise ConfigurationError("topology has no vertices")
+        if not self.source_edges():
+            raise ConfigurationError(
+                "topology has no source edge; call set_source(...)"
+            )
+        self._check_acyclic()
+        reachable = self._reachable_from_source()
+        unreachable = set(self._vertices) - reachable
+        if unreachable:
+            raise ConfigurationError(
+                f"vertices unreachable from the source: {sorted(unreachable)}"
+            )
+
+    def topological_order(self) -> list[str]:
+        """Vertex names in a topological order of the DAG."""
+        self._check_acyclic()
+        order: list[str] = []
+        visited: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited or name == self.SOURCE:
+                return
+            visited.add(name)
+            for edge in self.incoming(name):
+                visit(edge.source)
+            order.append(name)
+
+        for name in self._vertices:
+            visit(name)
+        return order
+
+    def _check_acyclic(self) -> None:
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str) -> None:
+            if name == self.SOURCE:
+                return
+            mark = state.get(name)
+            if mark == 0:
+                raise ConfigurationError(f"topology has a cycle through {name!r}")
+            if mark == 1:
+                return
+            state[name] = 0
+            for edge in self.outgoing(name):
+                visit(edge.target)
+            state[name] = 1
+
+        for name in self._vertices:
+            visit(name)
+
+    def _reachable_from_source(self) -> set[str]:
+        reachable: set[str] = set()
+        frontier = [edge.target for edge in self.source_edges()]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            frontier.extend(edge.target for edge in self.outgoing(name))
+        return reachable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(name={self._name!r}, vertices={len(self._vertices)}, "
+            f"edges={len(self._edges)})"
+        )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses communicate which
+subsystem rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters.
+
+    Examples: a partitioner with fewer than one worker, a sketch with zero
+    capacity, a Zipf workload with a non-positive exponent.
+    """
+
+
+class PartitioningError(ReproError):
+    """A stream-partitioning operation failed.
+
+    Raised, for instance, when a partitioner is asked to route a message
+    before it has been bound to a set of workers.
+    """
+
+
+class SketchError(ReproError):
+    """A frequency-estimation sketch was used incorrectly.
+
+    Examples: querying a key type the sketch cannot hash, merging two
+    summaries with incompatible capacities.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload/dataset could not be generated or loaded."""
+
+
+class SimulationError(ReproError):
+    """The simulation or cluster engine reached an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """An analytical routine received parameters outside its domain.
+
+    Example: solving for the number of choices ``d`` with an empty head or a
+    negative imbalance tolerance.
+    """

@@ -1,0 +1,28 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes
+
+* a ``*Config`` dataclass with two preset factories: ``paper()`` (the exact
+  parameters used in the paper) and ``quick()`` (a scaled-down variant that
+  runs in seconds on a laptop and is used by the benchmark suite);
+* a ``run(config)`` function returning an
+  :class:`~repro.experiments.common.ExperimentResult` whose rows mirror the
+  series plotted in the figure (or the rows of the table);
+* ``main()`` so the experiment can be run directly
+  (``python -m repro.experiments.fig01_scale_imbalance``).
+
+:mod:`repro.experiments.registry` maps experiment identifiers ("fig1",
+"fig13", "table1", ...) to these modules for the CLI and the benchmark
+harness.
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,97 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """The output of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier such as "fig1", "fig10", "table1".
+    title:
+        Human-readable description of the paper artefact being reproduced.
+    parameters:
+        The configuration the experiment ran with (for the record in
+        EXPERIMENTS.md).
+    rows:
+        One dictionary per data point / table row.  Keys are column names.
+    notes:
+        Free-form remarks (e.g. which paper observation the rows support).
+    """
+
+    experiment_id: str
+    title: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def column_names(self) -> list[str]:
+        names: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def series(self, key_column: str, value_column: str) -> dict[Any, Any]:
+        """Extract one plotted series as ``{x: y}``."""
+        return {row[key_column]: row[value_column] for row in self.rows if value_column in row}
+
+    def filtered(self, **criteria: Any) -> list[dict[str, Any]]:
+        """Rows matching all the given column=value criteria."""
+        matched = []
+        for row in self.rows:
+            if all(row.get(column) == value for column, value in criteria.items()):
+                matched.append(row)
+        return matched
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0.0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render rows as a fixed-width text table (what the drivers print)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(value.ljust(width) for value, width in zip(line, widths))
+        for line in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def print_result(result: ExperimentResult) -> None:
+    """Pretty-print an experiment result to stdout."""
+    print(f"== {result.experiment_id}: {result.title} ==")
+    if result.parameters:
+        rendered = ", ".join(
+            f"{name}={value}" for name, value in result.parameters.items()
+        )
+        print(f"parameters: {rendered}")
+    print(format_table(result.rows))
+    for note in result.notes:
+        print(f"note: {note}")

@@ -1,0 +1,84 @@
+"""Figure 6 — memory overhead of D-Choices and W-Choices relative to SG.
+
+Same analytical setting as Figure 5, but the reference is shuffle grouping:
+the figure shows that D-C and W-C need 70-100% *less* memory than SG
+(negative overhead), i.e. they deliver SG-like balance at a fraction of its
+replication cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.memory import memory_model_for_zipf
+from repro.experiments.common import ExperimentResult, print_result
+
+EXPERIMENT_ID = "fig6"
+TITLE = "Memory overhead of D-C and W-C with respect to SG vs. skew"
+
+
+@dataclass(slots=True)
+class Fig06Config:
+    """Parameters of the Figure 6 reproduction (analytical model)."""
+
+    skews: Sequence[float] = tuple(np.round(np.arange(0.4, 2.01, 0.1), 2))
+    num_keys: int = 10_000
+    num_messages: int = 10_000_000
+    worker_counts: Sequence[int] = (50, 100)
+    epsilon: float = 1e-4
+
+    @classmethod
+    def paper(cls) -> "Fig06Config":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "Fig06Config":
+        # The model is purely analytical, so the full message count costs
+        # nothing; only the skew grid is thinned.
+        return cls(skews=(0.4, 0.8, 1.2, 1.6, 2.0))
+
+
+def run(config: Fig06Config | None = None) -> ExperimentResult:
+    config = config or Fig06Config()
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        parameters={
+            "num_keys": config.num_keys,
+            "num_messages": config.num_messages,
+            "epsilon": config.epsilon,
+        },
+    )
+    for num_workers in config.worker_counts:
+        for skew in config.skews:
+            model = memory_model_for_zipf(
+                exponent=float(skew),
+                num_keys=config.num_keys,
+                num_messages=config.num_messages,
+                num_workers=num_workers,
+                epsilon=config.epsilon,
+            )
+            result.rows.append(
+                {
+                    "workers": num_workers,
+                    "skew": float(skew),
+                    "dchoices_vs_sg_pct": model.dchoices_vs_shuffle,
+                    "wchoices_vs_sg_pct": model.wchoices_vs_shuffle,
+                }
+            )
+    result.notes.append(
+        "Paper observation: D-C and W-C use at least ~70-80% less memory "
+        "than shuffle grouping across the whole skew range."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print_result(run(Fig06Config.quick()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""Registry mapping experiment identifiers to their driver modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    fig01_scale_imbalance,
+    fig03_head_cardinality,
+    fig04_fraction_workers,
+    fig05_memory_vs_pkg,
+    fig06_memory_vs_sg,
+    fig07_threshold_sweep,
+    fig08_head_tail_load,
+    fig09_optimal_d,
+    fig10_zipf_imbalance,
+    fig11_real_imbalance,
+    fig12_imbalance_over_time,
+    fig13_throughput,
+    fig14_latency,
+    table1_datasets,
+)
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentEntry:
+    """One registered experiment: its id, title and callables."""
+
+    experiment_id: str
+    title: str
+    #: ``run(config)`` of the driver module.
+    run: Callable[..., ExperimentResult]
+    #: Factory for the quick (benchmark-sized) configuration.
+    quick_config: Callable[[], object]
+    #: Factory for the paper-scale configuration.
+    paper_config: Callable[[], object]
+
+
+_MODULES = (
+    (fig01_scale_imbalance, "Fig01Config"),
+    (fig03_head_cardinality, "Fig03Config"),
+    (fig04_fraction_workers, "Fig04Config"),
+    (fig05_memory_vs_pkg, "Fig05Config"),
+    (fig06_memory_vs_sg, "Fig06Config"),
+    (fig07_threshold_sweep, "Fig07Config"),
+    (fig08_head_tail_load, "Fig08Config"),
+    (fig09_optimal_d, "Fig09Config"),
+    (fig10_zipf_imbalance, "Fig10Config"),
+    (fig11_real_imbalance, "Fig11Config"),
+    (fig12_imbalance_over_time, "Fig12Config"),
+    (fig13_throughput, "Fig13Config"),
+    (fig14_latency, "Fig14Config"),
+    (table1_datasets, "Table1Config"),
+)
+
+
+def _build_registry() -> dict[str, ExperimentEntry]:
+    registry: dict[str, ExperimentEntry] = {}
+    for module, config_name in _MODULES:
+        config_class = getattr(module, config_name)
+        entry = ExperimentEntry(
+            experiment_id=module.EXPERIMENT_ID,
+            title=module.TITLE,
+            run=module.run,
+            quick_config=config_class.quick,
+            paper_config=config_class.paper,
+        )
+        registry[entry.experiment_id] = entry
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def list_experiments() -> tuple[str, ...]:
+    """Identifiers of every registered experiment (fig1 ... table1)."""
+    return tuple(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up one experiment by id (case-insensitive)."""
+    entry = _REGISTRY.get(experiment_id.lower())
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        )
+    return entry
+
+
+def run_experiment(experiment_id: str, scale: str = "quick") -> ExperimentResult:
+    """Run one experiment at the requested scale ("quick" or "paper")."""
+    entry = get_experiment(experiment_id)
+    if scale == "quick":
+        config = entry.quick_config()
+    elif scale == "paper":
+        config = entry.paper_config()
+    else:
+        raise ConfigurationError(
+            f"scale must be 'quick' or 'paper', got {scale!r}"
+        )
+    return entry.run(config)

@@ -1,0 +1,27 @@
+"""Hashing substrate.
+
+The grouping schemes of the paper assume "ideal" independent hash functions
+``F_1 ... F_d`` mapping keys uniformly at random onto the worker set.  This
+subpackage provides:
+
+* :class:`~repro.hashing.hash_family.HashFamily` — an indexed family of
+  seeded 64-bit mixing hash functions, the workhorse used by every
+  partitioner;
+* :class:`~repro.hashing.universal.MultiplyShiftHash` — a classic universal
+  hash for integer keys, useful in property tests about collision behaviour;
+* :class:`~repro.hashing.consistent.ConsistentHashRing` — a consistent-hash
+  ring with virtual nodes, used as a related-work baseline (routing-table-free
+  key grouping with smooth worker addition/removal).
+"""
+
+from repro.hashing.consistent import ConsistentHashRing
+from repro.hashing.hash_family import HashFamily, stable_hash
+from repro.hashing.universal import MultiplyShiftHash, TabulationHash
+
+__all__ = [
+    "ConsistentHashRing",
+    "HashFamily",
+    "MultiplyShiftHash",
+    "TabulationHash",
+    "stable_hash",
+]

@@ -1,0 +1,227 @@
+"""A family of independent, seeded hash functions over arbitrary keys.
+
+Python's built-in :func:`hash` is randomised per process (for strings) and is
+not seedable, so it cannot provide the *d* independent functions
+``F_1 ... F_d`` required by the Greedy-d process.  Instead we serialise the
+key deterministically and run it through a 64-bit mixing function
+(SplitMix64-style finalizer) keyed by a per-function seed.  This gives:
+
+* determinism across processes and runs (important for reproducible
+  experiments and for multiple sources agreeing on the candidate workers of a
+  key, exactly as hash-based routing does in a real DSPE);
+* near-uniform output, which is the "ideal hash function" assumption used in
+  the paper's analysis (Appendix A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.types import Key, WorkerId
+
+_MASK64 = (1 << 64) - 1
+
+# SplitMix64 constants (Steele et al., "Fast splittable pseudorandom number
+# generators").  They provide excellent avalanche behaviour for 64-bit words.
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def _splitmix64(x: int) -> int:
+    """Finalise a 64-bit word with the SplitMix64 mixing function."""
+    x = (x + _GAMMA) & _MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _key_to_int(key: Key) -> int:
+    """Serialise an arbitrary hashable key into a 64-bit integer.
+
+    Strings and bytes are folded byte-by-byte with an FNV-1a style loop so
+    that similar keys ("word1", "word2") still land far apart after mixing.
+    Integers are used directly.  Any other hashable type falls back to
+    ``hash()``; this is process-dependent for custom ``__hash__``
+    implementations, so experiments use string or integer keys.
+    """
+    if isinstance(key, bool):  # bool is an int subclass; keep it distinct
+        return int(key) + 0x5BF03635
+    if isinstance(key, int):
+        return key & _MASK64
+    if isinstance(key, str):
+        data = key.encode("utf-8")
+    elif isinstance(key, bytes):
+        data = key
+    else:
+        return hash(key) & _MASK64
+    acc = 0xCBF29CE484222325
+    for byte in data:
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & _MASK64
+    return acc
+
+
+def stable_hash(key: Key, seed: int = 0) -> int:
+    """Return a deterministic 64-bit hash of ``key`` under ``seed``.
+
+    This is the primitive used everywhere the paper assumes an ideal hash
+    function.  Different seeds give (empirically) independent functions.
+    """
+    return _splitmix64(_key_to_int(key) ^ _splitmix64(seed & _MASK64))
+
+
+class HashFamily:
+    """An indexed family of ``d`` independent hash functions onto ``[0, n)``.
+
+    Parameters
+    ----------
+    num_functions:
+        Size of the family (the maximum ``d`` any caller will request).
+    num_buckets:
+        Size of the codomain, i.e. the number of workers ``n``.
+    seed:
+        Base seed; families created with the same seed are identical, which
+        is how multiple sources agree on a key's candidate workers without
+        a routing table.
+
+    Examples
+    --------
+    >>> family = HashFamily(num_functions=2, num_buckets=10, seed=42)
+    >>> candidates = family.candidates("apple")
+    >>> len(candidates)
+    2
+    >>> all(0 <= c < 10 for c in candidates)
+    True
+    >>> family.candidates("apple") == candidates   # deterministic
+    True
+    """
+
+    def __init__(self, num_functions: int, num_buckets: int, seed: int = 0) -> None:
+        if num_functions < 1:
+            raise ConfigurationError(
+                f"need at least one hash function, got {num_functions}"
+            )
+        if num_buckets < 1:
+            raise ConfigurationError(
+                f"need at least one bucket, got {num_buckets}"
+            )
+        self._num_functions = num_functions
+        self._num_buckets = num_buckets
+        self._seed = seed
+        # Pre-mix one sub-seed per function so that function i is keyed by a
+        # well-separated 64-bit constant rather than by the small integer i.
+        self._sub_seeds = tuple(
+            _splitmix64((seed & _MASK64) + i * _GAMMA) for i in range(num_functions)
+        )
+
+    @property
+    def num_functions(self) -> int:
+        return self._num_functions
+
+    @property
+    def num_buckets(self) -> int:
+        return self._num_buckets
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def hash(self, key: Key, index: int) -> WorkerId:
+        """Apply the ``index``-th function of the family to ``key``."""
+        if not 0 <= index < self._num_functions:
+            raise ConfigurationError(
+                f"hash function index {index} outside [0, {self._num_functions})"
+            )
+        return stable_hash(key, self._sub_seeds[index]) % self._num_buckets
+
+    def candidates(self, key: Key, d: int | None = None) -> tuple[WorkerId, ...]:
+        """Return the first ``d`` candidate buckets for ``key``.
+
+        ``d`` defaults to the full family size.  Duplicates are *not*
+        removed: the paper's analysis explicitly accounts for hash collisions
+        among the d choices (the ``b_h`` term), so the raw multiset is what
+        callers need.
+        """
+        if d is None:
+            d = self._num_functions
+        if not 1 <= d <= self._num_functions:
+            raise ConfigurationError(
+                f"requested d={d} outside [1, {self._num_functions}]"
+            )
+        return tuple(
+            stable_hash(key, self._sub_seeds[i]) % self._num_buckets for i in range(d)
+        )
+
+    def distinct_candidates(self, key: Key, d: int | None = None) -> tuple[WorkerId, ...]:
+        """Like :meth:`candidates` but with duplicates removed, order kept."""
+        seen: dict[WorkerId, None] = {}
+        for candidate in self.candidates(key, d):
+            seen.setdefault(candidate, None)
+        return tuple(seen)
+
+    def with_buckets(self, num_buckets: int) -> "HashFamily":
+        """Return a new family with the same seed but a different codomain."""
+        return HashFamily(self._num_functions, num_buckets, self._seed)
+
+    def with_functions(self, num_functions: int) -> "HashFamily":
+        """Return a new family with the same seed but a different size."""
+        return HashFamily(num_functions, self._num_buckets, self._seed)
+
+    def spread(self, keys: Iterable[Key], d: int = 1) -> list[int]:
+        """Histogram of bucket hits for ``keys`` under the first ``d`` functions.
+
+        Convenience used by tests and benchmarks to check uniformity.
+        """
+        counts = [0] * self._num_buckets
+        for key in keys:
+            for bucket in self.candidates(key, d):
+                counts[bucket] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashFamily(num_functions={self._num_functions}, "
+            f"num_buckets={self._num_buckets}, seed={self._seed})"
+        )
+
+
+def collision_probability(n: int, d: int) -> float:
+    """Probability that two specific choices out of ``d`` collide in ``[n]``.
+
+    Small helper used by the analysis tests; under ideal hashing each pair of
+    choices collides with probability ``1/n``.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if d < 2:
+        return 0.0
+    return 1.0 / n
+
+
+def expected_distinct(n: int, d: int) -> float:
+    """Expected number of distinct buckets hit by ``d`` uniform throws into ``n``.
+
+    This is the quantity ``b`` of Appendix A: ``n - n((n-1)/n)^d``.
+    Kept here (as well as in :mod:`repro.analysis.choices`) because it is a
+    property of the hashing substrate and is tested against the empirical
+    behaviour of :class:`HashFamily`.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if d < 0:
+        raise ConfigurationError(f"d must be non-negative, got {d}")
+    return n - n * ((n - 1) / n) ** d
+
+
+def candidate_union(families: Sequence[tuple[HashFamily, Key, int]]) -> set[WorkerId]:
+    """Union of candidate sets for several (family, key, d) triples.
+
+    Mirrors the ``U_{i<=h} W_i`` construction from the paper's analysis and is
+    used by the empirical validation of the ``b_h`` bound.
+    """
+    union: set[WorkerId] = set()
+    for family, key, d in families:
+        union.update(family.candidates(key, d))
+    return union

@@ -1,0 +1,80 @@
+"""Universal hashing schemes for integer keys.
+
+These are not used on the hot path of the partitioners (which work on
+arbitrary keys through :class:`repro.hashing.hash_family.HashFamily`), but
+they provide theoretically grounded hash functions for property tests about
+collision probabilities, and a tabulation-hashing implementation whose
+independence properties are strong enough to back the "ideal hash function"
+assumption in the analysis experimentally.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+
+
+class MultiplyShiftHash:
+    """Dietzfelbinger's multiply-shift hash: ``h(x) = (a*x mod 2^64) >> (64-l)``.
+
+    Maps 64-bit integers to ``[0, 2^l)``; 2-universal when ``a`` is a random
+    odd 64-bit number.  ``num_buckets`` does not need to be a power of two:
+    the hash is computed over the next power of two and reduced modulo
+    ``num_buckets`` (adding negligible bias for the bucket counts used here).
+    """
+
+    def __init__(self, num_buckets: int, seed: int = 0) -> None:
+        if num_buckets < 1:
+            raise ConfigurationError(f"num_buckets must be >= 1, got {num_buckets}")
+        self._num_buckets = num_buckets
+        self._bits = max(1, (num_buckets - 1).bit_length())
+        rng = random.Random(seed)
+        self._multiplier = rng.getrandbits(64) | 1  # force odd
+
+    @property
+    def num_buckets(self) -> int:
+        return self._num_buckets
+
+    def __call__(self, key: int) -> int:
+        if not isinstance(key, int):
+            raise ConfigurationError("MultiplyShiftHash only hashes integers")
+        word = (key * self._multiplier) & _MASK64
+        return (word >> (64 - self._bits)) % self._num_buckets
+
+
+class TabulationHash:
+    """Simple (byte-wise) tabulation hashing over 64-bit integer keys.
+
+    Tabulation hashing is 3-independent and is known to behave like a fully
+    random hash for many load-balancing applications (Patrascu & Thorup),
+    which makes it a good experimental stand-in for the ideal hash functions
+    assumed by the paper.
+    """
+
+    _NUM_TABLES = 8  # one per byte of a 64-bit key
+
+    def __init__(self, num_buckets: int, seed: int = 0) -> None:
+        if num_buckets < 1:
+            raise ConfigurationError(f"num_buckets must be >= 1, got {num_buckets}")
+        self._num_buckets = num_buckets
+        rng = random.Random(seed)
+        self._tables = [
+            [rng.getrandbits(64) for _ in range(256)] for _ in range(self._NUM_TABLES)
+        ]
+
+    @property
+    def num_buckets(self) -> int:
+        return self._num_buckets
+
+    def __call__(self, key: int) -> int:
+        if not isinstance(key, int):
+            raise ConfigurationError("TabulationHash only hashes integers")
+        value = key & _MASK64
+        acc = 0
+        for table in self._tables:
+            acc ^= table[value & 0xFF]
+            value >>= 8
+        return acc % self._num_buckets

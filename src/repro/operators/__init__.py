@@ -1,0 +1,55 @@
+"""Stateful streaming operators and partial-state aggregation.
+
+The paper's schemes split a key's state across up to ``d`` workers, so a
+stateful operator must be able to (a) keep per-key partial state on each
+worker and (b) reconcile those partials when the result is needed — the
+"aggregation cost proportional to d" discussed in Section IV-B.  This
+subpackage provides the operator substrate used by the dataflow runtime and
+the examples:
+
+* :mod:`repro.operators.base` — the operator interface and keyed state;
+* :mod:`repro.operators.aggregations` — count / sum / average / min-max /
+  top-k aggregators, all designed as *commutative monoids* so partial states
+  merge exactly;
+* :mod:`repro.operators.windows` — tumbling and sliding window assigners and
+  a windowed aggregation operator;
+* :mod:`repro.operators.reconciliation` — merging partial states collected
+  from the replicas of a key, plus an accounting of the aggregation cost.
+"""
+
+from repro.operators.aggregations import (
+    AverageAggregator,
+    CountAggregator,
+    MinMaxAggregator,
+    SumAggregator,
+    TopKAggregator,
+)
+from repro.operators.base import KeyedState, Operator, StatefulOperator, StatelessOperator
+from repro.operators.reconciliation import (
+    AggregationCost,
+    merge_partial_states,
+    reconcile,
+)
+from repro.operators.windows import (
+    SlidingWindowAssigner,
+    TumblingWindowAssigner,
+    WindowedAggregator,
+)
+
+__all__ = [
+    "AggregationCost",
+    "AverageAggregator",
+    "CountAggregator",
+    "KeyedState",
+    "MinMaxAggregator",
+    "Operator",
+    "SlidingWindowAssigner",
+    "StatefulOperator",
+    "StatelessOperator",
+    "SumAggregator",
+    "TopKAggregator",
+    "TumblingWindowAssigner",
+    "WindowedAggregator",
+    "merge_partial_states",
+    "reconcile",
+]

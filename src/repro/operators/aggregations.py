@@ -1,0 +1,167 @@
+"""Per-key aggregators designed for split (partial) state.
+
+Each aggregator folds values into a per-key accumulator *and* knows how to
+merge two accumulators of the same key.  Merge-ability is what makes the
+paper's multi-choice groupings usable for stateful operators: the partial
+states of a key that ended up on different workers can be combined into the
+exact global answer (count, sum, average, min/max) or an approximate one
+with known error (top-k via SpaceSaving).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.operators.base import StatefulOperator
+from repro.sketches.space_saving import SpaceSaving
+from repro.types import Key
+
+
+class CountAggregator(StatefulOperator):
+    """Counts occurrences per key.
+
+    Examples
+    --------
+    >>> counter = CountAggregator()
+    >>> counter.update("a", None); counter.update("a", None)
+    >>> counter.result("a")
+    2
+    """
+
+    def update(self, key: Key, value: object) -> None:
+        current = self.state.get(key, int)
+        self.state.put(key, current + 1)
+
+    def result(self, key: Key) -> int:
+        return int(self.state.peek(key) or 0)
+
+    @staticmethod
+    def merge(left: int, right: int) -> int:
+        return left + right
+
+
+class SumAggregator(StatefulOperator):
+    """Sums numeric values per key; non-numeric values are rejected."""
+
+    def update(self, key: Key, value: object) -> None:
+        if not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"SumAggregator needs numeric values, got {type(value).__name__}"
+            )
+        current = self.state.get(key, float)
+        self.state.put(key, current + float(value))
+
+    def result(self, key: Key) -> float:
+        return float(self.state.peek(key) or 0.0)
+
+    @staticmethod
+    def merge(left: float, right: float) -> float:
+        return left + right
+
+
+class AverageAggregator(StatefulOperator):
+    """Tracks (sum, count) per key so averages of partial states merge exactly."""
+
+    def update(self, key: Key, value: object) -> None:
+        if not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"AverageAggregator needs numeric values, got {type(value).__name__}"
+            )
+        total, count = self.state.get(key, lambda: (0.0, 0))
+        self.state.put(key, (total + float(value), count + 1))
+
+    def result(self, key: Key) -> float:
+        entry = self.state.peek(key)
+        if not entry:
+            return 0.0
+        total, count = entry
+        return total / count if count else 0.0
+
+    @staticmethod
+    def merge(left: tuple[float, int], right: tuple[float, int]) -> tuple[float, int]:
+        return (left[0] + right[0], left[1] + right[1])
+
+
+class MinMaxAggregator(StatefulOperator):
+    """Tracks the minimum and maximum value seen per key."""
+
+    def update(self, key: Key, value: object) -> None:
+        if not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"MinMaxAggregator needs numeric values, got {type(value).__name__}"
+            )
+        entry = self.state.peek(key)
+        value = float(value)
+        if entry is None:
+            self.state.put(key, (value, value))
+        else:
+            low, high = entry
+            self.state.put(key, (min(low, value), max(high, value)))
+
+    def result(self, key: Key) -> tuple[float, float] | None:
+        entry = self.state.peek(key)
+        return tuple(entry) if entry else None
+
+    @staticmethod
+    def merge(
+        left: tuple[float, float], right: tuple[float, float]
+    ) -> tuple[float, float]:
+        return (min(left[0], right[0]), max(left[1], right[1]))
+
+
+class TopKAggregator(StatefulOperator):
+    """Approximate per-instance top-k of the *values* routed to it.
+
+    Unlike the other aggregators, the state here is not keyed by the message
+    key but held in a single SpaceSaving sketch per instance: the operator
+    answers "which items were most frequent in my sub-stream".  Because
+    SpaceSaving summaries merge, the per-instance sketches can be combined
+    into a global (approximate) top-k — the same machinery the partitioners
+    use, reused at the application level.
+    """
+
+    _SKETCH_KEY = "__topk__"
+
+    def __init__(self, k: int, capacity: int | None = None, instance_id: int = 0) -> None:
+        super().__init__(instance_id)
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self._k = k
+        self._capacity = capacity if capacity is not None else max(4 * k, 16)
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def update(self, key: Key, value: object) -> None:
+        sketch = self.state.get(
+            self._SKETCH_KEY, lambda: SpaceSaving(self._capacity)
+        )
+        sketch.add(key if value is None else value)
+
+    def result(self, key: Key = None) -> list[tuple[object, int]]:
+        """The current top-k items of this instance's sub-stream."""
+        sketch = self.state.peek(self._SKETCH_KEY)
+        if sketch is None:
+            return []
+        entries = sorted(sketch.entries(), key=lambda entry: entry.count, reverse=True)
+        return [(entry.key, entry.count) for entry in entries[: self._k]]
+
+    @staticmethod
+    def merge(left: SpaceSaving, right: SpaceSaving) -> SpaceSaving:
+        return left.merge(right)
+
+    def merged_top(self, others: Iterable["TopKAggregator"]) -> list[tuple[object, int]]:
+        """Global top-k across this instance and ``others``."""
+        sketches = [self.state.peek(self._SKETCH_KEY)]
+        for other in others:
+            sketches.append(other.state.peek(self._SKETCH_KEY))
+        sketches = [sketch for sketch in sketches if sketch is not None]
+        if not sketches:
+            return []
+        merged = sketches[0]
+        for sketch in sketches[1:]:
+            merged = merged.merge(sketch)
+        entries = sorted(merged.entries(), key=lambda entry: entry.count, reverse=True)
+        return [(entry.key, entry.count) for entry in entries[: self._k]]

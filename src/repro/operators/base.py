@@ -1,0 +1,159 @@
+"""Operator interface and keyed state.
+
+An operator instance is what the paper calls a *worker*: one parallel copy
+of a data transformation.  Stateful operators keep per-key state; when the
+upstream edge uses a multi-choice grouping (PKG, D-Choices, W-Choices), a
+key's state is split across several instances and must be merged at read
+time (see :mod:`repro.operators.reconciliation`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Iterator
+
+from repro.exceptions import ConfigurationError
+from repro.types import Key, Message
+
+
+class KeyedState:
+    """Per-key state of one operator instance.
+
+    A thin wrapper over a dict that tracks the number of distinct keys (the
+    unitary-memory model of Section IV-B counts exactly this) and provides
+    the get-or-initialise idiom every stateful operator needs.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[Key, object] = {}
+
+    def get(self, key: Key, initializer: Callable[[], object]) -> object:
+        """Return the state for ``key``, creating it with ``initializer``."""
+        if key not in self._entries:
+            self._entries[key] = initializer()
+        return self._entries[key]
+
+    def put(self, key: Key, value: object) -> None:
+        self._entries[key] = value
+
+    def peek(self, key: Key) -> object | None:
+        """Return the state for ``key`` without creating it."""
+        return self._entries.get(key)
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._entries)
+
+    def items(self) -> Iterator[tuple[Key, object]]:
+        return iter(self._entries.items())
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        """Number of distinct keys held — the memory unit of the paper."""
+        return len(self._entries)
+
+
+class Operator(abc.ABC):
+    """One parallel instance of a data transformation.
+
+    Subclasses implement :meth:`process`, which receives one message and
+    yields zero or more output messages (flat-map semantics, like a Storm
+    bolt's ``execute``).
+    """
+
+    def __init__(self, instance_id: int = 0) -> None:
+        if instance_id < 0:
+            raise ConfigurationError(
+                f"instance_id must be >= 0, got {instance_id}"
+            )
+        self._instance_id = instance_id
+        self._processed = 0
+
+    @property
+    def instance_id(self) -> int:
+        return self._instance_id
+
+    @property
+    def processed(self) -> int:
+        """Number of messages this instance has processed."""
+        return self._processed
+
+    def execute(self, message: Message) -> list[Message]:
+        """Process one message and return the emitted messages."""
+        self._processed += 1
+        return list(self.process(message))
+
+    @abc.abstractmethod
+    def process(self, message: Message) -> Iterable[Message]:
+        """Transform one input message into zero or more output messages."""
+
+    def state_size(self) -> int:
+        """Number of per-key state entries held (0 for stateless operators)."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(instance_id={self._instance_id})"
+
+
+class StatelessOperator(Operator):
+    """An operator defined by a pure per-message function.
+
+    Examples
+    --------
+    >>> splitter = StatelessOperator.from_function(
+    ...     lambda message: [
+    ...         Message(message.timestamp, word, 1)
+    ...         for word in str(message.value).split()
+    ...     ]
+    ... )
+    >>> [m.key for m in splitter.execute(Message(0.0, "line", "a b"))]
+    ['a', 'b']
+    """
+
+    def __init__(self, function: Callable[[Message], Iterable[Message]],
+                 instance_id: int = 0) -> None:
+        super().__init__(instance_id)
+        self._function = function
+
+    @classmethod
+    def from_function(
+        cls, function: Callable[[Message], Iterable[Message]]
+    ) -> "StatelessOperator":
+        return cls(function)
+
+    def process(self, message: Message) -> Iterable[Message]:
+        return self._function(message)
+
+
+class StatefulOperator(Operator):
+    """Base class for operators with per-key state.
+
+    The default :meth:`process` applies :meth:`update` to the message's key
+    and emits nothing; subclasses (e.g. the aggregators) override
+    :meth:`update` and may also override :meth:`process` to emit updates
+    downstream.
+    """
+
+    def __init__(self, instance_id: int = 0) -> None:
+        super().__init__(instance_id)
+        self._state = KeyedState()
+
+    @property
+    def state(self) -> KeyedState:
+        return self._state
+
+    def state_size(self) -> int:
+        return len(self._state)
+
+    @abc.abstractmethod
+    def update(self, key: Key, value: object) -> None:
+        """Fold ``value`` into the state of ``key``."""
+
+    def process(self, message: Message) -> Iterable[Message]:
+        self.update(message.key, message.value)
+        return ()
+
+    def partial_state(self) -> dict[Key, object]:
+        """A snapshot of this instance's per-key partial state."""
+        return dict(self._state.items())

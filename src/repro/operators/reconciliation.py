@@ -1,0 +1,113 @@
+"""Reconciliation of partial per-key states across operator instances.
+
+When an edge uses PKG, D-Choices or W-Choices, the state of a key is split
+over the instances that processed its messages.  Reading the final value of
+the key therefore requires merging those partials — the aggregation step
+whose cost the paper bounds by ``d`` entries per head key and two entries
+per tail key.
+
+:func:`merge_partial_states` merges the dictionaries produced by
+``StatefulOperator.partial_state()``; :func:`reconcile` does the same for a
+whole operator group and also reports the measured aggregation cost, so the
+examples and benchmarks can verify the memory model of Section IV-B
+empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.operators.base import StatefulOperator
+from repro.types import Key
+
+
+def merge_partial_states(
+    partials: Sequence[Mapping[Key, object]],
+    merge: Callable[[object, object], object],
+) -> dict[Key, object]:
+    """Merge per-instance partial states into one global state.
+
+    ``merge`` must be associative and commutative (all the aggregators in
+    :mod:`repro.operators.aggregations` provide such a ``merge``).
+    """
+    if not partials:
+        return {}
+    merged: dict[Key, object] = {}
+    for partial in partials:
+        for key, value in partial.items():
+            if key in merged:
+                merged[key] = merge(merged[key], value)
+            else:
+                merged[key] = value
+    return merged
+
+
+@dataclass(frozen=True, slots=True)
+class AggregationCost:
+    """Measured cost of reconciling a group of operator instances.
+
+    Attributes
+    ----------
+    total_entries:
+        Total number of (instance, key) partial-state entries — the worker-
+        side memory of Section IV-B measured on real operator state.
+    distinct_keys:
+        Number of distinct keys across all instances.
+    max_replication:
+        Largest number of instances holding state for a single key — bounded
+        by 2 for PKG tail keys and by ``d`` (or ``n``) for head keys.
+    average_replication:
+        ``total_entries / distinct_keys``.
+    """
+
+    total_entries: int
+    distinct_keys: int
+    max_replication: int
+
+    @property
+    def average_replication(self) -> float:
+        if self.distinct_keys == 0:
+            return 0.0
+        return self.total_entries / self.distinct_keys
+
+
+def aggregation_cost(partials: Sequence[Mapping[Key, object]]) -> AggregationCost:
+    """Compute the replication statistics of a set of partial states."""
+    total_entries = 0
+    replication: dict[Key, int] = {}
+    for partial in partials:
+        total_entries += len(partial)
+        for key in partial:
+            replication[key] = replication.get(key, 0) + 1
+    return AggregationCost(
+        total_entries=total_entries,
+        distinct_keys=len(replication),
+        max_replication=max(replication.values(), default=0),
+    )
+
+
+def reconcile(
+    instances: Iterable[StatefulOperator],
+    merge: Callable[[object, object], object],
+) -> tuple[dict[Key, object], AggregationCost]:
+    """Merge the state of a whole operator group.
+
+    Returns the reconciled global state and the measured aggregation cost.
+
+    Examples
+    --------
+    >>> from repro.operators.aggregations import CountAggregator
+    >>> left, right = CountAggregator(0), CountAggregator(1)
+    >>> left.update("a", None); right.update("a", None); right.update("b", None)
+    >>> state, cost = reconcile([left, right], CountAggregator.merge)
+    >>> state["a"], cost.max_replication
+    (2, 2)
+    """
+    instances = list(instances)
+    if not instances:
+        raise ConfigurationError("cannot reconcile an empty group of instances")
+    partials = [instance.partial_state() for instance in instances]
+    merged = merge_partial_states(partials, merge)
+    return merged, aggregation_cost(partials)

@@ -1,0 +1,51 @@
+"""Stream partitioning (grouping) schemes.
+
+This subpackage contains the paper's contribution — :class:`DChoices` and
+:class:`WChoices` — plus every scheme they are compared against:
+
+* :class:`KeyGrouping` — hash each key to exactly one worker (Storm's fields
+  grouping);
+* :class:`ShuffleGrouping` — round-robin, ignoring keys (ideal balance,
+  maximal state replication);
+* :class:`PartialKeyGrouping` — the power of both choices (ICDE 2015
+  baseline);
+* :class:`GreedyD` — the Greedy-d process with a fixed ``d`` for every key
+  (building block and ablation target);
+* :class:`RoundRobinHead` — head keys round-robin over all workers, tail via
+  PKG (the load-oblivious baseline of Section III-B);
+* :class:`DChoices` / :class:`WChoices` — head/tail split with heavy-hitter
+  detection, the paper's algorithms.
+
+All schemes implement :class:`~repro.partitioning.base.Partitioner`; a new
+instance must be created per *source* (they keep per-source local state, as
+in the paper's setting).  :func:`create_partitioner` builds instances by
+name, which is how the simulators and experiments select schemes.
+"""
+
+from repro.partitioning.base import Partitioner, PartitionerState
+from repro.partitioning.consistent_grouping import ConsistentGrouping
+from repro.partitioning.d_choices import DChoices
+from repro.partitioning.fixed_d import FixedDHead
+from repro.partitioning.greedy_d import GreedyD
+from repro.partitioning.key_grouping import KeyGrouping
+from repro.partitioning.partial_key_grouping import PartialKeyGrouping
+from repro.partitioning.registry import available_schemes, create_partitioner
+from repro.partitioning.round_robin_head import RoundRobinHead
+from repro.partitioning.shuffle_grouping import ShuffleGrouping
+from repro.partitioning.w_choices import WChoices
+
+__all__ = [
+    "ConsistentGrouping",
+    "DChoices",
+    "FixedDHead",
+    "GreedyD",
+    "KeyGrouping",
+    "PartialKeyGrouping",
+    "Partitioner",
+    "PartitionerState",
+    "RoundRobinHead",
+    "ShuffleGrouping",
+    "WChoices",
+    "available_schemes",
+    "create_partitioner",
+]

@@ -1,0 +1,151 @@
+"""Abstract base class shared by every grouping scheme.
+
+A partitioner lives inside one *source* (upstream operator instance).  It
+keeps a local load vector — its own estimate of how much work it has sent to
+each downstream worker — and picks a worker for every outgoing message.  This
+mirrors the paper's setting exactly: load estimation is local to the sender
+(Section IV-B, "Overhead on Sources") and the candidate workers of a key are
+derived from shared hash functions rather than routing tables.
+
+Subclasses implement :meth:`_select`, which returns the destination worker
+and (optionally) metadata about the decision; :meth:`route` wraps it with the
+local-load bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.types import Key, RoutingDecision, WorkerId
+
+
+@dataclass(slots=True)
+class PartitionerState:
+    """Mutable per-source state every scheme maintains.
+
+    Attributes
+    ----------
+    loads:
+        Local load vector: number of messages this source has sent to each
+        worker.  This is the only load information available when routing,
+        as in the paper.
+    messages_routed:
+        Total number of messages routed by this source.
+    """
+
+    loads: list[int] = field(default_factory=list)
+    messages_routed: int = 0
+
+    def record(self, worker: WorkerId) -> None:
+        self.loads[worker] += 1
+        self.messages_routed += 1
+
+
+class Partitioner(abc.ABC):
+    """Base class for grouping schemes.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of downstream operator instances ``n``.
+    seed:
+        Seed for any hashing or randomness inside the scheme.  Two
+        partitioners with the same seed make identical hash-based candidate
+        choices, which is how independent sources agree on where a key may
+        go.
+    """
+
+    #: Short name used by the registry, tables and plots (e.g. "PKG", "D-C").
+    name: str = "base"
+
+    def __init__(self, num_workers: int, seed: int = 0) -> None:
+        if num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        self._num_workers = num_workers
+        self._seed = seed
+        self._state = PartitionerState(loads=[0] * num_workers)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def local_loads(self) -> list[int]:
+        """This source's view of the per-worker load (messages it has sent)."""
+        return list(self._state.loads)
+
+    @property
+    def messages_routed(self) -> int:
+        return self._state.messages_routed
+
+    def route(self, key: Key) -> WorkerId:
+        """Route one message with key ``key``; returns the destination worker."""
+        worker = self._select(key).worker
+        self._state.record(worker)
+        return worker
+
+    def route_with_decision(self, key: Key) -> RoutingDecision:
+        """Like :meth:`route` but returns the full :class:`RoutingDecision`."""
+        decision = self._select(key)
+        self._state.record(decision.worker)
+        return decision
+
+    def reset(self) -> None:
+        """Forget all per-source state (loads and any sketches)."""
+        self._state = PartitionerState(loads=[0] * self._num_workers)
+
+    # ------------------------------------------------------------------ #
+    # hooks for subclasses
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _select(self, key: Key) -> RoutingDecision:
+        """Pick the destination worker for ``key`` (no bookkeeping)."""
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by load-aware schemes
+    # ------------------------------------------------------------------ #
+    def _least_loaded(self, candidates: tuple[WorkerId, ...]) -> WorkerId:
+        """The candidate with the minimum local load (MINLOAD in Algorithm 1).
+
+        Ties are broken by candidate order, which is arbitrary but
+        deterministic — the paper allows arbitrary tie-breaking.
+        """
+        if not candidates:
+            raise ConfigurationError("candidate set must not be empty")
+        loads = self._state.loads
+        best = candidates[0]
+        best_load = loads[best]
+        for candidate in candidates[1:]:
+            load = loads[candidate]
+            if load < best_load:
+                best = candidate
+                best_load = load
+        return best
+
+    def _least_loaded_overall(self) -> WorkerId:
+        """The globally least-loaded worker according to the local view."""
+        loads = self._state.loads
+        best = 0
+        best_load = loads[0]
+        for worker in range(1, self._num_workers):
+            if loads[worker] < best_load:
+                best = worker
+                best_load = loads[worker]
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(num_workers={self._num_workers}, "
+            f"seed={self._seed})"
+        )

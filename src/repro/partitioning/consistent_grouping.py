@@ -1,0 +1,65 @@
+"""Consistent-hashing grouping (related-work baseline).
+
+Related work on stateful stream partitioning (e.g. Gedik, VLDBJ 2014) builds
+on consistent hashing: each key is owned by the worker whose virtual node
+follows the key's position on a hash ring.  Compared with plain key grouping
+the assignment is identical in the static case (single owner per key, so the
+same skew problems), but workers can be added or removed with minimal key
+movement — the property those migration-based systems rely on.
+
+The scheme is included as a baseline and as a building block for users who
+want to experiment with rebalancing extensions; it is *not* part of the
+paper's evaluation line-up.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.hashing.consistent import ConsistentHashRing
+from repro.partitioning.base import Partitioner
+from repro.types import Key, RoutingDecision, WorkerId
+
+
+class ConsistentGrouping(Partitioner):
+    """Single-owner grouping backed by a consistent-hash ring.
+
+    Examples
+    --------
+    >>> scheme = ConsistentGrouping(num_workers=8, seed=3)
+    >>> scheme.route("user-1") == scheme.route("user-1")
+    True
+    """
+
+    name = "CH"
+
+    def __init__(self, num_workers: int, seed: int = 0, replicas: int = 64) -> None:
+        super().__init__(num_workers, seed)
+        self._ring = ConsistentHashRing(range(num_workers), replicas=replicas, seed=seed)
+
+    @property
+    def ring(self) -> ConsistentHashRing:
+        return self._ring
+
+    def _select(self, key: Key) -> RoutingDecision:
+        worker = self._ring.lookup(key)
+        return RoutingDecision(key=key, worker=worker, candidates=(worker,))
+
+    # ------------------------------------------------------------------ #
+    # elasticity hooks (not used by the paper's experiments, but the whole
+    # point of consistent hashing)
+    # ------------------------------------------------------------------ #
+    def remove_worker(self, worker: WorkerId) -> None:
+        """Take a worker out of rotation; its keys move to ring successors."""
+        if not 0 <= worker < self.num_workers:
+            raise ConfigurationError(
+                f"worker {worker} outside [0, {self.num_workers})"
+            )
+        self._ring.remove_worker(worker)
+
+    def restore_worker(self, worker: WorkerId) -> None:
+        """Put a previously removed worker back on the ring."""
+        if not 0 <= worker < self.num_workers:
+            raise ConfigurationError(
+                f"worker {worker} outside [0, {self.num_workers})"
+            )
+        self._ring.add_worker(worker)

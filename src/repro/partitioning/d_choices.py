@@ -1,0 +1,184 @@
+"""D-Choices: head keys get the minimal sufficient number of choices ``d``.
+
+The scheme follows Algorithm 1 of the paper with the D-CHOICES branch:
+
+* every key updates the local SpaceSaving sketch;
+* tail keys use the two PKG choices;
+* head keys use ``d = FINDOPTIMALCHOICES()`` hash-derived candidates, where
+  ``d`` is the smallest value satisfying the Proposition 4.1 constraints for
+  the *currently estimated* head distribution;
+* if the solver concludes that ``d >= n`` is needed, the key is placed on the
+  least-loaded of all workers, i.e. the scheme degrades gracefully into
+  W-Choices (as prescribed at the end of Section IV-A).
+
+Solving for ``d`` on every message would be wasteful, so the solution is
+cached and recomputed only when the estimated head changes materially (new
+cardinality, new hottest-key frequency) or after ``recompute_interval``
+messages — whichever comes first.  This is an implementation choice, not a
+deviation: the solver input only changes when the sketch's view of the head
+changes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.choices import DEFAULT_EPSILON, ChoicesSolution, find_optimal_choices
+from repro.exceptions import ConfigurationError
+from repro.partitioning.head_tail import HeadTailPartitioner
+from repro.sketches.base import FrequencyEstimator
+from repro.types import Key, RoutingDecision
+
+
+class DChoices(HeadTailPartitioner):
+    """Head/tail split with an analytically minimal ``d`` for the head.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of downstream workers ``n``.
+    theta:
+        Head threshold (default ``1/(5n)``).
+    epsilon:
+        Imbalance tolerance fed to the constraint solver (paper default
+        ``1e-4``).
+    recompute_interval:
+        Upper bound on the number of routed messages between two solver
+        runs.  The solution is also refreshed whenever the estimated head
+        changes size or its hottest frequency moves by more than 10%.
+    check_interval:
+        How often (in routed messages) the head signature is re-examined at
+        all.  Scanning the sketch on every hot-key message would dominate the
+        routing cost, so the signature check itself is throttled; the
+        default of 200 messages keeps the reaction to drift well below the
+        paper's per-hour reporting granularity.
+
+    Examples
+    --------
+    >>> dc = DChoices(num_workers=8, seed=1)
+    >>> for _ in range(1000):
+    ...     _ = dc.route("hot")        # a single extremely hot key
+    >>> dc.current_num_choices() >= 2
+    True
+    """
+
+    name = "D-C"
+
+    def __init__(
+        self,
+        num_workers: int,
+        theta: float | None = None,
+        seed: int = 0,
+        epsilon: float = DEFAULT_EPSILON,
+        sketch: FrequencyEstimator | None = None,
+        warmup_messages: int = 100,
+        recompute_interval: int = 1000,
+        check_interval: int = 200,
+    ) -> None:
+        super().__init__(
+            num_workers,
+            theta=theta,
+            seed=seed,
+            sketch=sketch,
+            warmup_messages=warmup_messages,
+        )
+        if epsilon < 0.0:
+            raise ConfigurationError(f"epsilon must be >= 0, got {epsilon}")
+        if recompute_interval < 1:
+            raise ConfigurationError(
+                f"recompute_interval must be >= 1, got {recompute_interval}"
+            )
+        if check_interval < 1:
+            raise ConfigurationError(
+                f"check_interval must be >= 1, got {check_interval}"
+            )
+        self._epsilon = epsilon
+        self._recompute_interval = recompute_interval
+        self._check_interval = check_interval
+        self._solution = ChoicesSolution(
+            num_choices=2, use_w_choices=False, head_cardinality=0
+        )
+        self._messages_at_last_solve = 0
+        self._messages_at_last_check = 0
+        self._never_solved = True
+        self._head_signature: tuple[int, float] = (0, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # public introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    def current_num_choices(self) -> int:
+        """The ``d`` currently applied to head keys."""
+        return self._solution.num_choices
+
+    def current_solution(self) -> ChoicesSolution:
+        """The most recent output of the constraint solver."""
+        return self._solution
+
+    # ------------------------------------------------------------------ #
+    # FINDOPTIMALCHOICES with caching
+    # ------------------------------------------------------------------ #
+    def _find_optimal_choices(self) -> ChoicesSolution:
+        total = self._sketch.total
+        head_counts = sorted(self.current_head().values(), reverse=True)
+        if not head_counts or total == 0:
+            return ChoicesSolution(
+                num_choices=2, use_w_choices=False, head_cardinality=0
+            )
+        head = [count / total for count in head_counts]
+        tail_mass = max(0.0, 1.0 - sum(head))
+        return find_optimal_choices(
+            head, tail_mass, self.num_workers, self._epsilon
+        )
+
+    def _maybe_recompute(self) -> None:
+        # Scanning the sketch is O(capacity); doing it for every hot-key
+        # message would dominate routing, so throttle the check itself.
+        since_check = self.messages_routed - self._messages_at_last_check
+        if not self._never_solved and since_check < self._check_interval:
+            return
+        self._messages_at_last_check = self.messages_routed
+        head = self.current_head()
+        total = max(1, self._sketch.total)
+        hottest = max(head.values()) / total if head else 0.0
+        signature = (len(head), hottest)
+        stale_by_count = (
+            self.messages_routed - self._messages_at_last_solve
+            >= self._recompute_interval
+        )
+        head_changed = (
+            signature[0] != self._head_signature[0]
+            or abs(signature[1] - self._head_signature[1])
+            > 0.1 * max(self._head_signature[1], 1e-12)
+        )
+        if self._never_solved or stale_by_count or head_changed:
+            self._solution = self._find_optimal_choices()
+            self._messages_at_last_solve = self.messages_routed
+            self._head_signature = signature
+            self._never_solved = False
+
+    # ------------------------------------------------------------------ #
+    # head path
+    # ------------------------------------------------------------------ #
+    def _select_head(self, key: Key) -> RoutingDecision:
+        self._maybe_recompute()
+        if self._solution.use_w_choices:
+            worker = self._least_loaded_overall()
+            return RoutingDecision(key=key, worker=worker, is_head=True)
+        num_choices = max(2, self._solution.num_choices)
+        candidates = self._head_candidates(key, num_choices)
+        worker = self._least_loaded(candidates)
+        return RoutingDecision(
+            key=key, worker=worker, candidates=candidates, is_head=True
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._solution = ChoicesSolution(
+            num_choices=2, use_w_choices=False, head_cardinality=0
+        )
+        self._messages_at_last_solve = 0
+        self._messages_at_last_check = 0
+        self._never_solved = True
+        self._head_signature = (0, 0.0)

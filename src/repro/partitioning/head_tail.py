@@ -1,0 +1,145 @@
+"""Shared machinery for head/tail-split partitioners (Algorithm 1).
+
+D-Choices, W-Choices and Round-Robin all follow the same skeleton:
+
+1. feed every incoming key to a local SpaceSaving instance
+   (``UPDATESPACESAVING``);
+2. decide whether the key currently belongs to the head
+   (estimated relative frequency >= theta);
+3. head keys are placed with a scheme-specific wide strategy, tail keys with
+   the standard two choices of PKG.
+
+:class:`HeadTailPartitioner` implements steps 1-2 and the tail path, leaving
+the head path to subclasses via :meth:`_select_head`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import theta_range
+from repro.exceptions import ConfigurationError
+from repro.hashing.hash_family import HashFamily
+from repro.partitioning.base import Partitioner
+from repro.sketches.base import FrequencyEstimator
+from repro.sketches.space_saving import SpaceSaving
+from repro.types import Key, RoutingDecision, WorkerId
+
+#: How many counters the per-source SpaceSaving keeps relative to ``1/theta``.
+#: 1.0 is the minimum that guarantees no false negatives; a little slack
+#: sharpens the estimates at negligible memory cost (the sketch stays O(n)).
+DEFAULT_SKETCH_SLACK = 2.0
+
+
+class HeadTailPartitioner(Partitioner):
+    """Base class for schemes that treat heavy hitters specially.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of downstream workers ``n``.
+    theta:
+        Head threshold; defaults to the paper's ``1/(5n)``.
+    seed:
+        Hashing seed shared by all sources.
+    sketch:
+        Frequency estimator to use; defaults to a SpaceSaving sketch sized
+        for ``theta``.  Ablation experiments inject MisraGries or
+        LossyCounting here.
+    warmup_messages:
+        Number of initial messages routed purely with the tail (PKG) path
+        before the sketch estimates are trusted.  Avoids declaring the very
+        first keys heavy hitters on tiny samples.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        theta: float | None = None,
+        seed: int = 0,
+        sketch: FrequencyEstimator | None = None,
+        warmup_messages: int = 100,
+    ) -> None:
+        super().__init__(num_workers, seed)
+        if theta is None:
+            theta = theta_range(num_workers).default
+        if not 0.0 < theta <= 1.0:
+            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        if warmup_messages < 0:
+            raise ConfigurationError(
+                f"warmup_messages must be >= 0, got {warmup_messages}"
+            )
+        self._theta = theta
+        self._warmup_messages = warmup_messages
+        if sketch is None:
+            sketch = SpaceSaving.for_threshold(theta, slack=DEFAULT_SKETCH_SLACK)
+        self._sketch = sketch
+        # Hash functions: the tail uses the first two; head schemes may use
+        # up to n of them, so allocate the full family once (never fewer than
+        # two functions — the tail path always asks for two candidates, even
+        # on a single-worker deployment).
+        self._hashes = HashFamily(
+            num_functions=max(2, num_workers), num_buckets=num_workers, seed=seed
+        )
+
+    # ------------------------------------------------------------------ #
+    # public knobs / introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def theta(self) -> float:
+        return self._theta
+
+    @property
+    def sketch(self) -> FrequencyEstimator:
+        return self._sketch
+
+    def current_head(self) -> dict[Key, int]:
+        """The sketch's current estimate of the head (key -> estimated count)."""
+        return self._sketch.heavy_hitters(self._theta)
+
+    def is_head(self, key: Key) -> bool:
+        """Whether ``key`` currently qualifies as a heavy hitter.
+
+        Membership uses the sketch estimate directly (estimate >= theta *
+        total), so the check is O(1) — no need to materialise the whole head
+        on every message.
+        """
+        if self._sketch.total < self._warmup_messages:
+            return False
+        return self._sketch.estimate(key) >= self._theta * self._sketch.total
+
+    # ------------------------------------------------------------------ #
+    # Partitioner implementation
+    # ------------------------------------------------------------------ #
+    def _select(self, key: Key) -> RoutingDecision:
+        self._sketch.add(key)
+        if self.is_head(key):
+            return self._select_head(key)
+        return self._select_tail(key)
+
+    def _select_tail(self, key: Key) -> RoutingDecision:
+        """Tail path: the standard two choices of PKG."""
+        candidates = self._hashes.candidates(key, 2)
+        worker = self._least_loaded(candidates)
+        return RoutingDecision(
+            key=key, worker=worker, candidates=candidates, is_head=False
+        )
+
+    def _select_head(self, key: Key) -> RoutingDecision:
+        """Head path; must be provided by the concrete scheme."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        super().reset()
+        if isinstance(self._sketch, SpaceSaving):
+            self._sketch = SpaceSaving(self._sketch.capacity)
+        else:
+            # Best effort for injected sketches: recreate via type(capacity)
+            # is not generally possible, so just keep the old one cleared if
+            # it offers a reset, otherwise leave it (documented behaviour).
+            reset = getattr(self._sketch, "reset", None)
+            if callable(reset):
+                reset()
+
+    # helper for subclasses that need the candidate tuple of d hashes
+    def _head_candidates(self, key: Key, num_choices: int) -> tuple[WorkerId, ...]:
+        num_choices = max(2, min(num_choices, self.num_workers))
+        return self._hashes.candidates(key, num_choices)

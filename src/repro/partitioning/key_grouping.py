@@ -1,0 +1,34 @@
+"""Key grouping (KG): hash each key to exactly one worker.
+
+This is Storm's "fields grouping" and the MapReduce-style default for
+stateful operators.  All state for a key lives on a single worker, so there
+is no aggregation cost, but skewed keys directly translate into load
+imbalance — the baseline the paper improves upon.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.hash_family import HashFamily
+from repro.partitioning.base import Partitioner
+from repro.types import Key, RoutingDecision
+
+
+class KeyGrouping(Partitioner):
+    """Single-choice hashing: ``P(k) = F_1(k)``.
+
+    Examples
+    --------
+    >>> kg = KeyGrouping(num_workers=4, seed=1)
+    >>> kg.route("user-42") == kg.route("user-42")   # sticky per key
+    True
+    """
+
+    name = "KG"
+
+    def __init__(self, num_workers: int, seed: int = 0) -> None:
+        super().__init__(num_workers, seed)
+        self._hashes = HashFamily(num_functions=1, num_buckets=num_workers, seed=seed)
+
+    def _select(self, key: Key) -> RoutingDecision:
+        worker = self._hashes.hash(key, 0)
+        return RoutingDecision(key=key, worker=worker, candidates=(worker,))

@@ -1,0 +1,39 @@
+"""Round-Robin head placement (the load-oblivious baseline of Section III-B).
+
+Head keys are spread over all ``n`` workers in round-robin order, ignoring
+the current load; tail keys use the two PKG choices.  The memory cost is the
+same as W-Choices, which is exactly why the paper uses it as the comparison
+point for Q1: any gap between RR and W-C is attributable to load-awareness,
+not to replication.
+"""
+
+from __future__ import annotations
+
+from repro.partitioning.head_tail import HeadTailPartitioner
+from repro.types import Key, RoutingDecision
+
+
+class RoundRobinHead(HeadTailPartitioner):
+    """Round-robin for heavy hitters, PKG for the tail.
+
+    Examples
+    --------
+    >>> rr = RoundRobinHead(num_workers=3, seed=0, warmup_messages=0)
+    >>> [rr.route("hot") for _ in range(6)][-3:]
+    [0, 1, 2]
+    """
+
+    name = "RR"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._next_worker = 0
+
+    def _select_head(self, key: Key) -> RoutingDecision:
+        worker = self._next_worker
+        self._next_worker = (self._next_worker + 1) % self.num_workers
+        return RoutingDecision(key=key, worker=worker, is_head=True)
+
+    def reset(self) -> None:
+        super().reset()
+        self._next_worker = 0

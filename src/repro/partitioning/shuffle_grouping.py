@@ -1,0 +1,39 @@
+"""Shuffle grouping (SG): round-robin assignment, ignoring keys.
+
+SG gives ideal load balance but forces every worker to potentially hold
+state for every key, so its memory (and aggregation) cost grows with the
+number of workers — the other extreme the paper positions itself against.
+"""
+
+from __future__ import annotations
+
+from repro.partitioning.base import Partitioner
+from repro.types import Key, RoutingDecision
+
+
+class ShuffleGrouping(Partitioner):
+    """Round-robin over the workers, starting at a seed-dependent offset.
+
+    Examples
+    --------
+    >>> sg = ShuffleGrouping(num_workers=3, seed=0)
+    >>> [sg.route("any") for _ in range(4)]
+    [0, 1, 2, 0]
+    """
+
+    name = "SG"
+
+    def __init__(self, num_workers: int, seed: int = 0) -> None:
+        super().__init__(num_workers, seed)
+        # Different sources start at different offsets so that the first
+        # message of every source does not pile onto worker 0.
+        self._next = seed % num_workers
+
+    def _select(self, key: Key) -> RoutingDecision:
+        worker = self._next
+        self._next = (self._next + 1) % self.num_workers
+        return RoutingDecision(key=key, worker=worker)
+
+    def reset(self) -> None:
+        super().reset()
+        self._next = self.seed % self.num_workers

@@ -1,0 +1,108 @@
+"""Quick ASCII charts for terminal-side inspection of experiment results.
+
+Two chart shapes cover the paper's figures:
+
+* :func:`ascii_series_chart` — one line per (x, y) series, with optional
+  log-scaling of the y axis; good for imbalance-vs-skew or
+  imbalance-vs-workers plots (Figures 1, 7, 10, 11).
+* :func:`ascii_bar_chart` — labelled horizontal bars; good for per-scheme
+  throughput/latency comparisons (Figures 13, 14).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def _scale(value: float, low: float, high: float, width: int, log: bool) -> int:
+    if log:
+        value, low, high = (math.log10(max(v, 1e-12)) for v in (value, low, high))
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return int(round(position * (width - 1)))
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars, scaled to the maximum value.
+
+    Examples
+    --------
+    >>> print(ascii_bar_chart({"KG": 10.0, "SG": 40.0}, width=8))   # doctest: +NORMALIZE_WHITESPACE
+    KG | ##        10
+    SG | ######## 40
+    """
+    if not values:
+        raise ConfigurationError("cannot chart an empty mapping")
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    maximum = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    for label, value in values.items():
+        if maximum > 0:
+            bar = "#" * max(1, int(round(width * value / maximum)))
+        else:
+            bar = ""
+        suffix = f"{value:g}{unit}"
+        lines.append(f"{str(label).ljust(label_width)} | {bar.ljust(width)} {suffix}")
+    return "\n".join(lines)
+
+
+def ascii_series_chart(
+    series: Mapping[str, Mapping[float, float]],
+    height: int = 12,
+    width: int = 60,
+    log_y: bool = False,
+) -> str:
+    """Render one or more (x -> y) series on a shared ASCII canvas.
+
+    Each series is drawn with a distinct marker; a legend is appended.
+    Intended for quick terminal inspection, not publication-quality output.
+    """
+    if not series:
+        raise ConfigurationError("cannot chart an empty collection of series")
+    if height < 2 or width < 2:
+        raise ConfigurationError("chart must be at least 2x2 characters")
+
+    markers = "*o+x@%&$"
+    all_points = [
+        (x, y) for points in series.values() for x, y in points.items()
+    ]
+    if not all_points:
+        raise ConfigurationError("series contain no points")
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if log_y:
+        y_low = max(y_low, 1e-12)
+        y_high = max(y_high, 1e-12)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points.items():
+            column = _scale(x, x_low, x_high, width, log=False)
+            row = _scale(y, y_low, y_high, height, log=log_y)
+            canvas[height - 1 - row][column] = marker
+
+    lines = ["|" + "".join(row) for row in canvas]
+    lines.append("+" + "-" * width)
+    y_label = "log(y)" if log_y else "y"
+    lines.append(
+        f"{y_label}: [{y_low:.3g}, {y_high:.3g}]   x: [{x_low:.3g}, {x_high:.3g}]"
+    )
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} {name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Export experiment results to CSV or JSON."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.common import ExperimentResult
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Render the rows of an experiment as CSV text (header included)."""
+    columns = result.column_names()
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+def result_to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Render an experiment result (rows + metadata) as a JSON document."""
+    document: dict[str, Any] = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "parameters": _jsonable(result.parameters),
+        "rows": [_jsonable(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+    return json.dumps(document, indent=indent)
+
+
+def write_result(result: ExperimentResult, path: str | os.PathLike[str]) -> str:
+    """Write a result to ``path``; the format follows the file extension.
+
+    Supported extensions: ``.csv``, ``.json``.  Returns the absolute path of
+    the written file.
+    """
+    path = os.fspath(path)
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".csv":
+        payload = result_to_csv(result)
+    elif extension == ".json":
+        payload = result_to_json(result)
+    else:
+        raise ConfigurationError(
+            f"unsupported export extension {extension!r}; use .csv or .json"
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return os.path.abspath(path)
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of row values into JSON-serialisable objects."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

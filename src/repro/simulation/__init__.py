@@ -1,0 +1,26 @@
+"""Stream-partitioning simulator (the counterpart of the authors' SLBSimulator).
+
+The simulator reproduces the setting of Section V-A: the simplest possible
+DAG with a set of sources, a set of workers and one partitioned stream in
+between.  The input stream is shuffle-grouped over the sources; each source
+runs its own instance of the grouping scheme (with local-only load
+information, exactly as in the paper) and forwards messages to workers.  The
+engine tracks the global load of each worker and derives the imbalance
+metric ``I(t)``.
+"""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import ImbalanceTimeSeries, LoadTracker
+from repro.simulation.results import SimulationResult
+from repro.simulation.runner import run_simulation, sweep
+
+__all__ = [
+    "ImbalanceTimeSeries",
+    "LoadTracker",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "run_simulation",
+    "sweep",
+]

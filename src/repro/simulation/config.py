@@ -1,0 +1,64 @@
+"""Configuration of a partitioning simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+#: Default number of sources used throughout the paper's simulations.
+DEFAULT_NUM_SOURCES = 5
+
+
+@dataclass(slots=True)
+class SimulationConfig:
+    """Parameters of one simulation run.
+
+    Attributes
+    ----------
+    scheme:
+        Name of the grouping scheme ("PKG", "D-C", "W-C", "RR", "KG", "SG",
+        "GREEDY-D"); resolved through the partitioner registry.
+    num_workers:
+        Number of downstream workers ``n``.
+    num_sources:
+        Number of sources ``s``; the input stream is split across them
+        round-robin (shuffle grouping from the spout, as in the paper).
+    seed:
+        Base seed; source ``i`` uses ``seed + i`` for any scheme-internal
+        randomness while all sources share the same *hashing* seed so they
+        agree on key candidates.
+    scheme_options:
+        Extra keyword arguments forwarded to the partitioner constructor
+        (``theta``, ``epsilon``, ``num_choices``, ``sketch`` ...).
+    track_interval:
+        Record the imbalance every ``track_interval`` messages.  0 disables
+        the time series (only the final snapshot is kept), which speeds up
+        large sweeps.
+    track_head_tail:
+        When True, per-worker load is additionally split into head/tail
+        contributions (needed by the Figure 8 experiment).
+    """
+
+    scheme: str
+    num_workers: int
+    num_sources: int = DEFAULT_NUM_SOURCES
+    seed: int = 0
+    scheme_options: dict[str, Any] = field(default_factory=dict)
+    track_interval: int = 0
+    track_head_tail: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.num_sources < 1:
+            raise ConfigurationError(
+                f"num_sources must be >= 1, got {self.num_sources}"
+            )
+        if self.track_interval < 0:
+            raise ConfigurationError(
+                f"track_interval must be >= 0, got {self.track_interval}"
+            )

@@ -1,0 +1,151 @@
+"""The partitioning simulation engine.
+
+The engine wires together:
+
+* a workload (an iterable of keys);
+* ``s`` sources, each holding its own partitioner instance (so load
+  estimation and heavy-hitter tracking are local to the sender, as in the
+  paper);
+* ``n`` workers, represented by the global :class:`LoadTracker` and a
+  per-worker set of keys (to measure the worker-side memory of
+  Section IV-B).
+
+The input stream is distributed over sources round-robin, which models the
+shuffle-grouped edge between the spout and the sources in the evaluation
+setup (Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.partitioning.base import Partitioner
+from repro.partitioning.registry import canonical_name, create_partitioner
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import ImbalanceTimeSeries, LoadTracker
+from repro.simulation.results import SimulationResult
+from repro.types import Key
+
+
+class SimulationEngine:
+    """Runs one grouping scheme over one workload.
+
+    Examples
+    --------
+    >>> from repro.simulation.config import SimulationConfig
+    >>> config = SimulationConfig(scheme="PKG", num_workers=4, num_sources=2)
+    >>> engine = SimulationEngine(config)
+    >>> result = engine.run(["a", "b", "a", "c"] * 10)
+    >>> result.num_messages
+    40
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._config = config
+        self._scheme = canonical_name(config.scheme)
+        self._sources = self._build_sources()
+        self._tracker = LoadTracker(
+            config.num_workers, track_head_tail=config.track_head_tail
+        )
+        self._series = ImbalanceTimeSeries(interval=config.track_interval)
+        # worker -> set of keys that hit it (memory measurement)
+        self._worker_keys: list[set[Key]] = [
+            set() for _ in range(config.num_workers)
+        ]
+        self._head_keys: set[Key] = set()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _build_sources(self) -> list[Partitioner]:
+        """One partitioner per source.
+
+        All sources share the hashing seed (``config.seed``) so they agree on
+        each key's candidate workers — this is what makes routing-table-free
+        schemes possible.  Schemes with per-source randomness that must
+        differ across sources (shuffle grouping's starting offset) receive a
+        distinct seed instead, because nothing about SG requires agreement.
+        """
+        config = self._config
+        sources = []
+        for index in range(config.num_sources):
+            options = dict(config.scheme_options)
+            seed = config.seed
+            if self._scheme == "SG":
+                seed = config.seed + index
+            sources.append(
+                create_partitioner(
+                    self._scheme,
+                    num_workers=config.num_workers,
+                    seed=seed,
+                    **options,
+                )
+            )
+        return sources
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    @property
+    def sources(self) -> list[Partitioner]:
+        return self._sources
+
+    @property
+    def tracker(self) -> LoadTracker:
+        return self._tracker
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, keys: Iterable[Key]) -> SimulationResult:
+        """Consume the workload and return the aggregated result."""
+        num_sources = self._config.num_sources
+        sources = self._sources
+        tracker = self._tracker
+        series = self._series
+        worker_keys = self._worker_keys
+        head_keys = self._head_keys
+
+        index = 0
+        for key in keys:
+            source = sources[index % num_sources]
+            decision = source.route_with_decision(key)
+            tracker.record(decision.worker, is_head=decision.is_head)
+            worker_keys[decision.worker].add(key)
+            if decision.is_head:
+                head_keys.add(key)
+            series.maybe_record(tracker)
+            index += 1
+
+        if index == 0:
+            raise ConfigurationError("cannot simulate an empty workload")
+        series.final(tracker)
+        return self._build_result(index)
+
+    def _build_result(self, num_messages: int) -> SimulationResult:
+        tracker = self._tracker
+        head_loads = tail_loads = None
+        if self._config.track_head_tail:
+            head_loads, tail_loads = tracker.head_tail_split()
+        memory_entries = sum(len(keys) for keys in self._worker_keys)
+        return SimulationResult(
+            scheme=self._scheme,
+            num_workers=self._config.num_workers,
+            num_sources=self._config.num_sources,
+            num_messages=num_messages,
+            final_imbalance=tracker.imbalance(),
+            average_imbalance=(
+                self._series.average if self._series.values else tracker.imbalance()
+            ),
+            worker_loads=tracker.loads,
+            head_loads=head_loads,
+            tail_loads=tail_loads,
+            time_series=self._series if self._series.times else None,
+            memory_entries=memory_entries,
+            head_key_count=len(self._head_keys),
+        )

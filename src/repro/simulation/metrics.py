@@ -1,0 +1,141 @@
+"""Load tracking and imbalance metrics.
+
+Implements the definitions of Section II-B:
+
+* the load of worker ``w`` at time ``t`` is the fraction of messages handled
+  by ``w`` up to ``t``;
+* the imbalance is ``I(t) = max_w L_w(t) - avg_w L_w(t)``.
+
+:class:`LoadTracker` maintains absolute per-worker counters (plus an optional
+head/tail split), and :class:`ImbalanceTimeSeries` records ``I(t)`` at fixed
+message intervals so the over-time plots (Figure 12) can be reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.types import LoadSnapshot, WorkerId
+
+
+class LoadTracker:
+    """Global per-worker load counters.
+
+    The tracker is the *observer's* view: it sees every message regardless of
+    which source routed it, which is what the imbalance metric is defined
+    over.  (Sources themselves only see their own traffic; that local view
+    lives inside each partitioner.)
+    """
+
+    def __init__(self, num_workers: int, track_head_tail: bool = False) -> None:
+        if num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        self._num_workers = num_workers
+        self._loads = [0] * num_workers
+        self._track_head_tail = track_head_tail
+        self._head_loads = [0] * num_workers if track_head_tail else None
+        self._total = 0
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def total_messages(self) -> int:
+        return self._total
+
+    @property
+    def loads(self) -> list[int]:
+        """Absolute number of messages routed to each worker."""
+        return list(self._loads)
+
+    def record(self, worker: WorkerId, is_head: bool = False) -> None:
+        """Account for one message routed to ``worker``."""
+        if not 0 <= worker < self._num_workers:
+            raise SimulationError(
+                f"worker {worker} outside [0, {self._num_workers})"
+            )
+        self._loads[worker] += 1
+        self._total += 1
+        if self._head_loads is not None and is_head:
+            self._head_loads[worker] += 1
+
+    # ------------------------------------------------------------------ #
+    # derived metrics
+    # ------------------------------------------------------------------ #
+    def normalized_loads(self) -> list[float]:
+        """Per-worker load as a fraction of all messages."""
+        if self._total == 0:
+            return [0.0] * self._num_workers
+        return [load / self._total for load in self._loads]
+
+    def imbalance(self) -> float:
+        """``I(t) = max_w L_w - avg_w L_w`` over normalised loads.
+
+        The difference is non-negative by definition; the ``max`` guards
+        against ``-0.0`` artefacts of floating-point summation.
+        """
+        normalized = self.normalized_loads()
+        return max(0.0, max(normalized) - sum(normalized) / self._num_workers)
+
+    def max_load(self) -> float:
+        """Normalised load of the most loaded worker."""
+        if self._total == 0:
+            return 0.0
+        return max(self._loads) / self._total
+
+    def snapshot(self, time: float) -> LoadSnapshot:
+        return LoadSnapshot(time=time, loads=list(self._loads))
+
+    def head_tail_split(self) -> tuple[list[int], list[int]]:
+        """Per-worker (head, tail) absolute loads (requires tracking enabled)."""
+        if self._head_loads is None:
+            raise SimulationError(
+                "head/tail tracking was not enabled for this run"
+            )
+        tail = [
+            total - head for total, head in zip(self._loads, self._head_loads)
+        ]
+        return list(self._head_loads), tail
+
+
+@dataclass(slots=True)
+class ImbalanceTimeSeries:
+    """Imbalance ``I(t)`` sampled every ``interval`` messages."""
+
+    interval: int
+    times: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def maybe_record(self, tracker: LoadTracker) -> None:
+        """Record a sample if the tracker just crossed an interval boundary."""
+        if self.interval <= 0:
+            return
+        if tracker.total_messages % self.interval == 0 and tracker.total_messages > 0:
+            self.times.append(tracker.total_messages)
+            self.values.append(tracker.imbalance())
+
+    def final(self, tracker: LoadTracker) -> None:
+        """Append the final imbalance if not already sampled."""
+        if not self.times or self.times[-1] != tracker.total_messages:
+            self.times.append(tracker.total_messages)
+            self.values.append(tracker.imbalance())
+
+    @property
+    def average(self) -> float:
+        """Average imbalance across all samples (used by Figure 10/11)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    @property
+    def maximum(self) -> float:
+        if not self.values:
+            return 0.0
+        return max(self.values)
+
+    def as_rows(self) -> list[tuple[int, float]]:
+        return list(zip(self.times, self.values))

@@ -1,0 +1,77 @@
+"""Result object returned by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.metrics import ImbalanceTimeSeries
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Everything an experiment needs from one simulation run.
+
+    Attributes
+    ----------
+    scheme:
+        Canonical name of the grouping scheme that was simulated.
+    num_workers, num_sources, num_messages:
+        The run's topology and stream length.
+    final_imbalance:
+        ``I(m)`` at the end of the stream — the headline metric of
+        Figures 1, 7, 10 and 11.
+    average_imbalance:
+        Mean of the sampled ``I(t)`` values (equals ``final_imbalance`` when
+        no time series was tracked).
+    worker_loads:
+        Absolute per-worker message counts at the end of the run.
+    head_loads, tail_loads:
+        Per-worker split of the load into head/tail contributions (only when
+        head/tail tracking was enabled — Figure 8).
+    time_series:
+        The sampled ``I(t)`` series (empty when tracking was disabled).
+    memory_entries:
+        Number of (worker, key) state entries that would exist downstream,
+        i.e. the worker-side memory of Section IV-B measured empirically.
+    head_key_count:
+        Number of distinct keys ever routed through the head path.
+    """
+
+    scheme: str
+    num_workers: int
+    num_sources: int
+    num_messages: int
+    final_imbalance: float
+    average_imbalance: float
+    worker_loads: list[int] = field(default_factory=list)
+    head_loads: list[int] | None = None
+    tail_loads: list[int] | None = None
+    time_series: ImbalanceTimeSeries | None = None
+    memory_entries: int = 0
+    head_key_count: int = 0
+
+    @property
+    def normalized_loads(self) -> list[float]:
+        total = sum(self.worker_loads)
+        if total == 0:
+            return [0.0] * self.num_workers
+        return [load / total for load in self.worker_loads]
+
+    @property
+    def max_load(self) -> float:
+        loads = self.normalized_loads
+        return max(loads) if loads else 0.0
+
+    def summary(self) -> dict[str, object]:
+        """A flat dictionary convenient for tabular reporting."""
+        return {
+            "scheme": self.scheme,
+            "workers": self.num_workers,
+            "sources": self.num_sources,
+            "messages": self.num_messages,
+            "imbalance": self.final_imbalance,
+            "avg_imbalance": self.average_imbalance,
+            "max_load": self.max_load,
+            "memory_entries": self.memory_entries,
+            "head_keys": self.head_key_count,
+        }

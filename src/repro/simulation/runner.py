@@ -1,0 +1,87 @@
+"""High-level helpers to run simulations and parameter sweeps."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.results import SimulationResult
+from repro.types import Key
+from repro.workloads.base import Workload
+
+
+def run_simulation(
+    workload: Workload | Iterable[Key],
+    scheme: str,
+    num_workers: int,
+    num_sources: int = 5,
+    seed: int = 0,
+    scheme_options: dict[str, Any] | None = None,
+    track_interval: int = 0,
+    track_head_tail: bool = False,
+) -> SimulationResult:
+    """Run one grouping scheme over one workload and return the result.
+
+    This is the main entry point of the library for simulation studies::
+
+        from repro import ZipfWorkload, run_simulation
+
+        workload = ZipfWorkload(exponent=1.5, num_keys=10_000, num_messages=1_000_000)
+        result = run_simulation(workload, scheme="D-C", num_workers=50)
+        print(result.final_imbalance)
+    """
+    config = SimulationConfig(
+        scheme=scheme,
+        num_workers=num_workers,
+        num_sources=num_sources,
+        seed=seed,
+        scheme_options=scheme_options or {},
+        track_interval=track_interval,
+        track_head_tail=track_head_tail,
+    )
+    engine = SimulationEngine(config)
+    return engine.run(iter(workload))
+
+
+def sweep(
+    workload_factory,
+    schemes: Sequence[str],
+    worker_counts: Sequence[int],
+    num_sources: int = 5,
+    seed: int = 0,
+    scheme_options: dict[str, Any] | None = None,
+    track_interval: int = 0,
+) -> list[SimulationResult]:
+    """Run every (scheme, num_workers) combination.
+
+    ``workload_factory`` is called with no arguments for each run so every
+    run consumes a fresh stream (generators are single-use).  Use a lambda
+    closing over the workload parameters::
+
+        results = sweep(
+            lambda: ZipfWorkload(1.5, 10_000, 500_000, seed=7),
+            schemes=("PKG", "D-C", "W-C"),
+            worker_counts=(5, 10, 50),
+        )
+    """
+    results = []
+    for scheme in schemes:
+        for num_workers in worker_counts:
+            results.append(
+                run_simulation(
+                    workload_factory(),
+                    scheme=scheme,
+                    num_workers=num_workers,
+                    num_sources=num_sources,
+                    seed=seed,
+                    scheme_options=scheme_options,
+                    track_interval=track_interval,
+                )
+            )
+    return results
+
+
+def results_table(results: Sequence[SimulationResult]) -> list[dict[str, object]]:
+    """Flatten results into rows suitable for printing or CSV export."""
+    return [result.summary() for result in results]

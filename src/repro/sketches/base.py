@@ -1,0 +1,97 @@
+"""Common interface for frequency estimators (heavy-hitter sketches).
+
+The partitioners only need three operations from a sketch:
+
+* ``add(key)`` — account for one occurrence of ``key``;
+* ``estimate(key)`` — an (over- or under-) estimate of the key's count;
+* ``heavy_hitters(threshold)`` — the keys whose *relative* frequency is
+  estimated to be at least ``threshold``.
+
+Keeping the interface abstract lets D-Choices/W-Choices run with SpaceSaving
+(the paper's choice) or with any of the alternatives for ablation studies.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.types import Key
+
+
+@dataclass(frozen=True, slots=True)
+class FrequencyEstimate:
+    """An estimated count for a key, with the estimation error if known.
+
+    ``count`` is the sketch's estimate; ``error`` is an upper bound on the
+    overestimation, so the true count lies in ``[count - error, count]`` for
+    counter-based sketches such as SpaceSaving.
+    """
+
+    key: Key
+    count: int
+    error: int = 0
+
+    @property
+    def guaranteed_count(self) -> int:
+        """A lower bound on the true count of this key."""
+        return max(0, self.count - self.error)
+
+
+class FrequencyEstimator(abc.ABC):
+    """Abstract streaming frequency estimator.
+
+    Implementations must track the total number of observed items in
+    :attr:`total` so relative frequencies can be computed without outside
+    bookkeeping.
+    """
+
+    @property
+    @abc.abstractmethod
+    def total(self) -> int:
+        """Total number of items observed so far."""
+
+    @abc.abstractmethod
+    def add(self, key: Key, count: int = 1) -> None:
+        """Account for ``count`` occurrences of ``key``."""
+
+    @abc.abstractmethod
+    def estimate(self, key: Key) -> int:
+        """Estimated count of ``key`` (0 for never-seen keys)."""
+
+    @abc.abstractmethod
+    def entries(self) -> Iterator[FrequencyEstimate]:
+        """Iterate over all currently monitored keys."""
+
+    def add_all(self, keys: Iterable[Key]) -> None:
+        """Convenience: add each key of an iterable once."""
+        for key in keys:
+            self.add(key)
+
+    def frequency(self, key: Key) -> float:
+        """Estimated relative frequency of ``key`` in [0, 1]."""
+        if self.total == 0:
+            return 0.0
+        return self.estimate(key) / self.total
+
+    def heavy_hitters(self, threshold: float) -> dict[Key, int]:
+        """Keys whose estimated relative frequency is at least ``threshold``.
+
+        Returns a mapping from key to estimated count.  Sketches with
+        one-sided error (SpaceSaving, MisraGries with correction, Lossy
+        Counting) guarantee no false negatives for the given threshold;
+        false positives are possible and harmless for the partitioners
+        (a tail key treated as head only gains placement freedom).
+        """
+        if self.total == 0:
+            return {}
+        cutoff = threshold * self.total
+        return {
+            entry.key: entry.count
+            for entry in self.entries()
+            if entry.count >= cutoff
+        }
+
+    def __contains__(self, key: Key) -> bool:
+        return self.estimate(key) > 0

@@ -1,0 +1,126 @@
+"""Distributed heavy-hitter tracking across multiple sources.
+
+The paper notes (Section III-A) that the head of the distribution is tracked
+"in a distributed fashion across sources" using SpaceSaving and its
+generalisation to the distributed setting (Berinde et al., TODS 2010).
+
+Two modes are relevant for the reproduction:
+
+* **Local mode** — each source runs its own SpaceSaving over the sub-stream
+  it sees and derives the head from its local estimates.  This is what the
+  partitioners do on the hot path (no coordination), and it works because the
+  sources receive statistically similar sub-streams (shuffle-grouped input).
+* **Merged mode** — summaries are periodically merged into a global view,
+  the counterpart of the mergeable-summaries result.  The simulation engine
+  uses this to report the "true" head, and the ablation benchmarks measure
+  how much local-only tracking deviates from it.
+
+:func:`merge_summaries` merges any number of SpaceSaving sketches;
+:class:`DistributedHeavyHitters` wraps the per-source sketches and exposes
+both views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError, SketchError
+from repro.sketches.space_saving import SpaceSaving
+from repro.types import Key
+
+
+def merge_summaries(summaries: Sequence[SpaceSaving]) -> SpaceSaving:
+    """Merge several SpaceSaving summaries into one.
+
+    The merge is associative; the result never underestimates the combined
+    count of any key and its error bound is the sum of the inputs' bounds.
+    """
+    if not summaries:
+        raise SketchError("cannot merge an empty collection of summaries")
+    merged = summaries[0]
+    for summary in summaries[1:]:
+        merged = merged.merge(summary)
+    return merged
+
+
+class DistributedHeavyHitters:
+    """Per-source SpaceSaving instances with an on-demand merged view.
+
+    Parameters
+    ----------
+    num_sources:
+        Number of independent sources feeding the partitioned stream.
+    capacity:
+        Capacity of each per-source sketch.
+
+    Examples
+    --------
+    >>> tracker = DistributedHeavyHitters(num_sources=2, capacity=8)
+    >>> for i, key in enumerate(["a", "a", "b", "a", "c", "a"]):
+    ...     tracker.add(source=i % 2, key=key)
+    >>> "a" in tracker.merged_heavy_hitters(0.5)
+    True
+    """
+
+    def __init__(self, num_sources: int, capacity: int) -> None:
+        if num_sources < 1:
+            raise ConfigurationError(f"num_sources must be >= 1, got {num_sources}")
+        self._sketches = [SpaceSaving(capacity) for _ in range(num_sources)]
+
+    @property
+    def num_sources(self) -> int:
+        return len(self._sketches)
+
+    def sketch(self, source: int) -> SpaceSaving:
+        """The local sketch of ``source``."""
+        self._check_source(source)
+        return self._sketches[source]
+
+    def add(self, source: int, key: Key, count: int = 1) -> None:
+        """Account for ``count`` occurrences of ``key`` observed by ``source``."""
+        self._check_source(source)
+        self._sketches[source].add(key, count)
+
+    def local_heavy_hitters(self, source: int, threshold: float) -> dict[Key, int]:
+        """Heavy hitters according to ``source``'s local view only."""
+        self._check_source(source)
+        return self._sketches[source].heavy_hitters(threshold)
+
+    def merged(self) -> SpaceSaving:
+        """Merge all per-source summaries into a global summary."""
+        return merge_summaries(self._sketches)
+
+    def merged_heavy_hitters(self, threshold: float) -> dict[Key, int]:
+        """Heavy hitters of the full stream according to the merged summary."""
+        return self.merged().heavy_hitters(threshold)
+
+    def total(self) -> int:
+        """Total number of messages observed across all sources."""
+        return sum(sketch.total for sketch in self._sketches)
+
+    def disagreement(self, threshold: float) -> float:
+        """Fraction of merged heavy hitters missed by at least one source.
+
+        A diagnostic used by the ablation experiments: 0.0 means every source
+        would route every hot key through the head path, exactly as the
+        merged (global) view would.
+        """
+        global_head = set(self.merged_heavy_hitters(threshold))
+        if not global_head:
+            return 0.0
+        missed = set()
+        for source in range(self.num_sources):
+            local_head = set(self.local_heavy_hitters(source, threshold))
+            missed.update(global_head - local_head)
+        return len(missed) / len(global_head)
+
+    def _check_source(self, source: int) -> None:
+        if not 0 <= source < len(self._sketches):
+            raise ConfigurationError(
+                f"source {source} outside [0, {len(self._sketches)})"
+            )
+
+    def add_stream(self, pairs: Iterable[tuple[int, Key]]) -> None:
+        """Bulk-add ``(source, key)`` pairs."""
+        for source, key in pairs:
+            self.add(source, key)

@@ -1,0 +1,295 @@
+"""The SpaceSaving heavy-hitter algorithm (Metwally, Agrawal, El Abbadi 2005).
+
+SpaceSaving keeps at most ``capacity`` monitored keys.  On arrival of a key:
+
+* if it is monitored, increment its counter;
+* otherwise, if there is room, start monitoring it with count 1;
+* otherwise evict the key with the *minimum* counter ``min``, replace it with
+  the new key, and set the new counter to ``min + 1`` with error ``min``.
+
+Guarantees (with ``capacity = ceil(1/eps)``):
+
+* every key with true count ``> eps * total`` is monitored (no false
+  negatives above the threshold);
+* for every monitored key, ``true_count <= estimate <= true_count + error``
+  and ``error <= total / capacity``.
+
+The implementation uses the "stream summary" structure from the original
+paper: counters are grouped into buckets of equal count, kept in a doubly
+linked list ordered by count.  This gives O(1) worst-case update, which
+matters because the partitioners call ``add`` once per message.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.exceptions import ConfigurationError, SketchError
+from repro.sketches.base import FrequencyEstimate, FrequencyEstimator
+from repro.types import Key
+
+
+class _Bucket:
+    """A group of counters that share the same count value.
+
+    Buckets form a doubly linked list ordered by ``count`` ascending.
+    ``keys`` preserves insertion order (a dict used as an ordered set) so
+    eviction picks the oldest minimal counter, matching the reference
+    implementation's tie-breaking.
+    """
+
+    __slots__ = ("count", "keys", "prev", "next")
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.keys: dict[Key, None] = {}
+        self.prev: Optional["_Bucket"] = None
+        self.next: Optional["_Bucket"] = None
+
+
+class SpaceSaving(FrequencyEstimator):
+    """Stream-summary implementation of SpaceSaving.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of monitored keys.  To detect every key with relative
+        frequency at least ``phi`` it suffices to set ``capacity >= 1/phi``;
+        :meth:`for_threshold` computes that for you.
+
+    Examples
+    --------
+    >>> sketch = SpaceSaving(capacity=2)
+    >>> for key in ["a", "a", "b", "a", "c"]:
+    ...     sketch.add(key)
+    >>> sketch.estimate("a") >= 3   # never underestimates
+    True
+    >>> sorted(sketch.heavy_hitters(0.5))
+    ['a']
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._total = 0
+        # key -> (bucket, error)
+        self._where: dict[Key, _Bucket] = {}
+        self._errors: dict[Key, int] = {}
+        self._head: Optional[_Bucket] = None  # bucket with the minimum count
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_threshold(cls, threshold: float, slack: float = 1.0) -> "SpaceSaving":
+        """Create a sketch able to track keys of relative frequency >= threshold.
+
+        ``slack`` > 1 over-provisions the sketch (more counters than strictly
+        necessary), which reduces the estimation error of the reported heavy
+        hitters; the paper's setting of theta = 1/(5n) with default slack
+        yields a sketch of 5n counters — still O(n) memory per source.
+        """
+        if threshold <= 0.0 or threshold > 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        if slack <= 0.0:
+            raise ConfigurationError(f"slack must be positive, got {slack}")
+        capacity = max(1, int(round(slack / threshold)))
+        return cls(capacity)
+
+    # ------------------------------------------------------------------ #
+    # FrequencyEstimator interface
+    # ------------------------------------------------------------------ #
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def add(self, key: Key, count: int = 1) -> None:
+        if count < 1:
+            raise SketchError(f"count must be >= 1, got {count}")
+        self._total += count
+        if key in self._where:
+            self._increment(key, count)
+            return
+        if len(self._where) < self._capacity:
+            self._insert_new(key, count, error=0)
+            return
+        self._replace_minimum(key, count)
+
+    def estimate(self, key: Key) -> int:
+        bucket = self._where.get(key)
+        return bucket.count if bucket is not None else 0
+
+    def error(self, key: Key) -> int:
+        """Overestimation bound for ``key`` (0 if the key is not monitored)."""
+        return self._errors.get(key, 0)
+
+    def guaranteed(self, key: Key) -> int:
+        """Guaranteed (lower bound) count for ``key``."""
+        bucket = self._where.get(key)
+        if bucket is None:
+            return 0
+        return bucket.count - self._errors[key]
+
+    def entries(self) -> Iterator[FrequencyEstimate]:
+        bucket = self._head
+        while bucket is not None:
+            for key in bucket.keys:
+                yield FrequencyEstimate(key, bucket.count, self._errors[key])
+            bucket = bucket.next
+
+    def min_count(self) -> int:
+        """Smallest monitored count (0 when the sketch is empty)."""
+        return self._head.count if self._head is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # internal stream-summary maintenance
+    # ------------------------------------------------------------------ #
+    def _insert_new(self, key: Key, count: int, error: int) -> None:
+        bucket = self._find_or_create_bucket(count, hint=self._head)
+        bucket.keys[key] = None
+        self._where[key] = bucket
+        self._errors[key] = error
+
+    def _increment(self, key: Key, count: int) -> None:
+        bucket = self._where[key]
+        del bucket.keys[key]
+        target = self._find_or_create_bucket(bucket.count + count, hint=bucket)
+        target.keys[key] = None
+        self._where[key] = target
+        self._maybe_drop(bucket)
+
+    def _replace_minimum(self, key: Key, count: int) -> None:
+        assert self._head is not None  # capacity >= 1 and sketch is full
+        min_bucket = self._head
+        # evict the oldest key in the minimum bucket
+        victim = next(iter(min_bucket.keys))
+        del min_bucket.keys[victim]
+        del self._where[victim]
+        del self._errors[victim]
+        new_count = min_bucket.count + count
+        error = min_bucket.count
+        target = self._find_or_create_bucket(new_count, hint=min_bucket)
+        target.keys[key] = None
+        self._where[key] = target
+        self._errors[key] = error
+        self._maybe_drop(min_bucket)
+
+    def _find_or_create_bucket(self, count: int, hint: Optional[_Bucket]) -> _Bucket:
+        """Locate the bucket with ``count``, creating it after ``hint`` if needed.
+
+        ``hint`` is a bucket whose count is <= ``count`` (the bucket the key
+        is moving out of, or the head).  For unit increments the target is
+        either ``hint`` itself, its successor, or a new bucket right after
+        ``hint`` — all O(1).  For larger ``count`` jumps (merge operations)
+        we walk forward, which is linear in the number of buckets but only
+        used off the hot path.
+        """
+        if self._head is None:
+            bucket = _Bucket(count)
+            self._head = bucket
+            return bucket
+
+        current = hint if hint is not None else self._head
+        if current.count > count:
+            current = self._head
+        # Walk forward until the next bucket would overshoot.
+        while current.next is not None and current.next.count <= count:
+            current = current.next
+        if current.count == count:
+            return current
+        if current.count < count:
+            return self._insert_after(current, count)
+        # current.count > count can only happen when current is the head and
+        # the head already exceeds count: insert a new bucket before it.
+        return self._insert_before(current, count)
+
+    def _insert_after(self, bucket: _Bucket, count: int) -> _Bucket:
+        new = _Bucket(count)
+        new.prev = bucket
+        new.next = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = new
+        bucket.next = new
+        return new
+
+    def _insert_before(self, bucket: _Bucket, count: int) -> _Bucket:
+        new = _Bucket(count)
+        new.next = bucket
+        new.prev = bucket.prev
+        if bucket.prev is not None:
+            bucket.prev.next = new
+        else:
+            self._head = new
+        bucket.prev = new
+        return new
+
+    def _maybe_drop(self, bucket: _Bucket) -> None:
+        if bucket.keys:
+            return
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        else:
+            self._head = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+        bucket.prev = bucket.next = None
+
+    # ------------------------------------------------------------------ #
+    # merging (used by the distributed generalisation)
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Return a new sketch summarising the union of both streams.
+
+        Follows the mergeable-summaries construction (Berinde et al. 2010;
+        Agarwal et al. 2012): sum estimates and errors key-wise, treating a
+        key absent from one sketch as having that sketch's minimum count as
+        estimate and error, then keep the ``capacity`` largest counters.
+        The result never underestimates any key of the combined stream and
+        its error bound is the sum of the two sketches' error bounds.
+        """
+        if not isinstance(other, SpaceSaving):
+            raise SketchError("can only merge SpaceSaving with SpaceSaving")
+        capacity = max(self._capacity, other._capacity)
+        min_self = self.min_count() if len(self) >= self._capacity else 0
+        min_other = other.min_count() if len(other) >= other._capacity else 0
+
+        combined: dict[Key, tuple[int, int]] = {}
+        for entry in self.entries():
+            combined[entry.key] = (entry.count, entry.error)
+        for entry in other.entries():
+            if entry.key in combined:
+                count, error = combined[entry.key]
+                combined[entry.key] = (count + entry.count, error + entry.error)
+            else:
+                combined[entry.key] = (
+                    entry.count + min_self,
+                    entry.error + min_self,
+                )
+        # Keys present only in self get the other sketch's minimum added.
+        for entry in self.entries():
+            if other.estimate(entry.key) == 0:
+                count, error = combined[entry.key]
+                combined[entry.key] = (count + min_other, error + min_other)
+
+        merged = SpaceSaving(capacity)
+        merged._total = self._total + other._total
+        kept = sorted(combined.items(), key=lambda item: item[1][0], reverse=True)
+        for key, (count, error) in kept[:capacity]:
+            merged._insert_new(key, count, error)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpaceSaving(capacity={self._capacity}, monitored={len(self)}, "
+            f"total={self._total})"
+        )

@@ -1,0 +1,42 @@
+"""Workload (dataset) generators and loaders.
+
+The paper evaluates on three real traces (Wikipedia page visits, Twitter
+words, Twitter cashtags) and on synthetic Zipf streams (Table I).  The raw
+traces are not redistributable, so this subpackage provides:
+
+* :class:`~repro.workloads.zipf_stream.ZipfWorkload` — the ZF datasets;
+* :mod:`~repro.workloads.synthetic` — Wikipedia-like, Twitter-like and
+  Cashtag-like generators that match the published summary statistics
+  (number of keys, p1, drift behaviour) at a laptop-friendly scale;
+* :class:`~repro.workloads.drift.DriftingZipfWorkload` — the concept-drift
+  machinery behind the Cashtag-like workload;
+* :class:`~repro.workloads.file_stream.FileWorkload` — replay a stream from
+  a text file (one key per line), for users who do have the original traces;
+* :mod:`~repro.workloads.catalog` — the Table I registry mapping dataset
+  symbols (WP, TW, CT, ZF) to generators and their statistics.
+"""
+
+from repro.workloads.base import Workload, materialize
+from repro.workloads.catalog import DATASETS, dataset_stats, load_dataset
+from repro.workloads.drift import DriftingZipfWorkload
+from repro.workloads.file_stream import FileWorkload
+from repro.workloads.synthetic import (
+    CashtagLikeWorkload,
+    TwitterLikeWorkload,
+    WikipediaLikeWorkload,
+)
+from repro.workloads.zipf_stream import ZipfWorkload
+
+__all__ = [
+    "DATASETS",
+    "CashtagLikeWorkload",
+    "DriftingZipfWorkload",
+    "FileWorkload",
+    "TwitterLikeWorkload",
+    "WikipediaLikeWorkload",
+    "Workload",
+    "ZipfWorkload",
+    "dataset_stats",
+    "load_dataset",
+    "materialize",
+]

@@ -1,0 +1,87 @@
+"""Workload interface.
+
+A workload is an iterable of keys (optionally full :class:`Message` tuples)
+with known summary statistics.  Workloads are *generators*: iterating twice
+yields the same stream only if the workload was constructed with a fixed
+seed, which all built-in workloads are.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.types import DatasetStats, Key, Message
+
+
+class Workload(abc.ABC):
+    """Abstract stream of keyed messages.
+
+    Subclasses implement :meth:`keys`, yielding keys in stream order, and
+    :meth:`stats`, describing the workload as a Table I row.
+    """
+
+    #: Symbol used in the paper's tables (WP, TW, CT, ZF).
+    symbol: str = "?"
+
+    @abc.abstractmethod
+    def keys(self) -> Iterator[Key]:
+        """Yield the key of every message, in stream order."""
+
+    @abc.abstractmethod
+    def stats(self) -> DatasetStats:
+        """Summary statistics (may be exact or nominal, see subclasses)."""
+
+    def messages(self) -> Iterator[Message]:
+        """Yield full messages with consecutive integer timestamps."""
+        for timestamp, key in enumerate(self.keys()):
+            yield Message(timestamp=float(timestamp), key=key)
+
+    def __iter__(self) -> Iterator[Key]:
+        return self.keys()
+
+    def measured_stats(self, name: str | None = None) -> DatasetStats:
+        """Compute exact statistics by consuming the whole stream.
+
+        More expensive than :meth:`stats` (which may return nominal values),
+        but used by Table I to report what the generated streams actually
+        contain.
+        """
+        counts: Counter[Key] = Counter()
+        total = 0
+        for key in self.keys():
+            counts[key] += 1
+            total += 1
+        most_common = counts.most_common(1)
+        p1 = most_common[0][1] / total if total else 0.0
+        nominal = self.stats()
+        return DatasetStats(
+            name=name or nominal.name,
+            symbol=nominal.symbol,
+            messages=total,
+            keys=len(counts),
+            p1=p1,
+            description=nominal.description,
+        )
+
+    def key_frequencies(self) -> Counter:
+        """Exact key counts of the whole stream (consumes the stream)."""
+        counts: Counter[Key] = Counter()
+        for key in self.keys():
+            counts[key] += 1
+        return counts
+
+
+def materialize(workload: Workload | Iterable[Key], limit: int | None = None) -> list[Key]:
+    """Collect (up to ``limit``) keys of a workload into a list.
+
+    Convenience for tests and small experiments; large sweeps should iterate
+    lazily instead.
+    """
+    result: list[Key] = []
+    for index, key in enumerate(workload):
+        if limit is not None and index >= limit:
+            break
+        result.append(key)
+    return result

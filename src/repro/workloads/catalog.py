@@ -1,0 +1,159 @@
+"""Dataset catalog (Table I).
+
+Maps the dataset symbols used throughout the paper (WP, TW, CT, ZF) to the
+workload generators of this reproduction and records both the statistics
+published in Table I and the statistics of our synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import WorkloadError
+from repro.types import DatasetStats
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import (
+    CashtagLikeWorkload,
+    TwitterLikeWorkload,
+    WikipediaLikeWorkload,
+)
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetEntry:
+    """One row of the catalog: published stats + a factory for our stand-in."""
+
+    symbol: str
+    name: str
+    #: Statistics as published in Table I of the paper.
+    published: DatasetStats
+    #: Factory building the synthetic stand-in at its default (scaled) size.
+    factory: Callable[..., Workload]
+    #: Why the substitution preserves the behaviour the experiments measure.
+    substitution_note: str
+
+
+DATASETS: dict[str, DatasetEntry] = {
+    "WP": DatasetEntry(
+        symbol="WP",
+        name="Wikipedia",
+        published=DatasetStats(
+            name="Wikipedia",
+            symbol="WP",
+            messages=22_000_000,
+            keys=2_900_000,
+            p1=0.0932,
+            description="Page-visit log of one day of January 2008.",
+        ),
+        factory=WikipediaLikeWorkload,
+        substitution_note=(
+            "Synthetic page-visit stream with the published p1 (9.32%) and a "
+            "Zipf body; scaled to 2M messages / 1e5 keys by default."
+        ),
+    ),
+    "TW": DatasetEntry(
+        symbol="TW",
+        name="Twitter",
+        published=DatasetStats(
+            name="Twitter",
+            symbol="TW",
+            messages=1_200_000_000,
+            keys=31_000_000,
+            p1=0.0267,
+            description="Words of tweets crawled during July 2012.",
+        ),
+        factory=TwitterLikeWorkload,
+        substitution_note=(
+            "Synthetic word stream with the published p1 (2.67%); scaled to "
+            "2M messages / 2e5 keys by default."
+        ),
+    ),
+    "CT": DatasetEntry(
+        symbol="CT",
+        name="Cashtags",
+        published=DatasetStats(
+            name="Cashtags",
+            symbol="CT",
+            messages=690_000,
+            keys=2_900,
+            p1=0.0329,
+            description="Cashtags of tweets crawled in November 2013.",
+        ),
+        factory=CashtagLikeWorkload,
+        substitution_note=(
+            "Drifting Zipf stream over the same key-space size with hourly "
+            "full head rotation, reproducing the trace's concept drift."
+        ),
+    ),
+    "ZF": DatasetEntry(
+        symbol="ZF",
+        name="Zipf",
+        published=DatasetStats(
+            name="Zipf",
+            symbol="ZF",
+            messages=10_000_000,
+            keys=10_000,
+            p1=float("nan"),
+            description="Synthetic Zipf streams, z in {0.1..2.0}.",
+        ),
+        factory=ZipfWorkload,
+        substitution_note="Generated exactly as in the paper (no substitution).",
+    ),
+}
+
+
+def dataset_stats(symbol: str) -> DatasetStats:
+    """Published Table I statistics for ``symbol``."""
+    entry = DATASETS.get(symbol.upper())
+    if entry is None:
+        raise WorkloadError(
+            f"unknown dataset symbol {symbol!r}; known: {sorted(DATASETS)}"
+        )
+    return entry.published
+
+
+def load_dataset(symbol: str, **kwargs) -> Workload:
+    """Instantiate the stand-in workload for ``symbol``.
+
+    Keyword arguments are forwarded to the generator (e.g. ``num_messages``,
+    ``seed``; ``exponent``/``num_keys`` for ZF).
+
+    Examples
+    --------
+    >>> workload = load_dataset("ZF", exponent=1.2, num_keys=1000, num_messages=10)
+    >>> workload.symbol
+    'ZF'
+    """
+    entry = DATASETS.get(symbol.upper())
+    if entry is None:
+        raise WorkloadError(
+            f"unknown dataset symbol {symbol!r}; known: {sorted(DATASETS)}"
+        )
+    return entry.factory(**kwargs)
+
+
+def table1_rows(measured: bool = False, **kwargs) -> list[dict[str, object]]:
+    """Rows of Table I.
+
+    With ``measured=False`` (default) the published statistics are returned.
+    With ``measured=True`` the synthetic stand-ins are generated (at their
+    default scale unless overridden via ``kwargs``) and measured exactly;
+    note this consumes the full streams.
+    """
+    rows: list[dict[str, object]] = []
+    for symbol, entry in DATASETS.items():
+        if measured:
+            if symbol == "ZF":
+                workload = entry.factory(
+                    exponent=kwargs.get("exponent", 2.0),
+                    num_keys=kwargs.get("num_keys", 10_000),
+                    num_messages=kwargs.get("num_messages", 100_000),
+                )
+            else:
+                workload = entry.factory()
+            rows.append(workload.measured_stats().as_row())
+        else:
+            rows.append(entry.published.as_row())
+    return rows

@@ -1,0 +1,151 @@
+"""Unit tests for the PKG bounds, threshold range and head helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    max_workers_for_pkg,
+    pkg_breaks_down,
+    pkg_imbalance_lower_bound,
+    pkg_safe_threshold,
+    theta_range,
+)
+from repro.analysis.head import (
+    head_cardinality,
+    head_keys,
+    head_mass,
+    head_probabilities,
+    select_threshold,
+    uniform_head_upper_bound,
+)
+from repro.analysis.zipf import ZipfDistribution
+from repro.exceptions import AnalysisError
+
+
+class TestThetaRange:
+    def test_bounds_formula(self):
+        bounds = theta_range(50)
+        assert bounds.lower == pytest.approx(1 / 250)
+        assert bounds.upper == pytest.approx(2 / 50)
+        assert bounds.default == bounds.lower
+
+    def test_membership(self):
+        bounds = theta_range(10)
+        assert 1 / 50 in bounds
+        assert 1 / 5 in bounds
+        assert 0.5 not in bounds
+        assert "not-a-number" not in bounds
+
+    def test_clamp(self):
+        bounds = theta_range(10)
+        assert bounds.clamp(1.0) == bounds.upper
+        assert bounds.clamp(0.0) == bounds.lower
+        assert bounds.clamp(0.05) == 0.05
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(AnalysisError):
+            theta_range(0)
+
+    def test_safe_threshold_matches_lower(self):
+        assert pkg_safe_threshold(20) == theta_range(20).lower
+
+
+class TestPkgBounds:
+    def test_breaks_down_condition(self):
+        assert pkg_breaks_down(p1=0.5, num_workers=10)
+        assert not pkg_breaks_down(p1=0.1, num_workers=10)
+
+    def test_breaks_down_boundary(self):
+        assert not pkg_breaks_down(p1=0.2, num_workers=10)
+
+    def test_rejects_bad_p1(self):
+        with pytest.raises(AnalysisError):
+            pkg_breaks_down(p1=1.5, num_workers=10)
+
+    def test_imbalance_lower_bound_zero_when_fine(self):
+        assert pkg_imbalance_lower_bound(0.1, 10, 1_000_000) == 0.0
+
+    def test_imbalance_lower_bound_grows_with_m(self):
+        small = pkg_imbalance_lower_bound(0.6, 10, 1000)
+        large = pkg_imbalance_lower_bound(0.6, 10, 100_000)
+        assert large > small > 0.0
+
+    def test_imbalance_lower_bound_formula(self):
+        bound = pkg_imbalance_lower_bound(0.5, 10, 1000)
+        assert bound == pytest.approx((0.25 - 0.1) * 1000)
+
+    def test_imbalance_lower_bound_rejects_negative_m(self):
+        with pytest.raises(AnalysisError):
+            pkg_imbalance_lower_bound(0.5, 10, -1)
+
+    def test_max_workers_for_pkg_paper_example(self):
+        # z = 2.0 gives p1 close to 0.6 and the paper says PKG cannot go
+        # beyond 3 workers.
+        p1 = ZipfDistribution(2.0, 10_000).p1
+        assert max_workers_for_pkg(p1) == 3
+
+    def test_max_workers_for_pkg_rejects_zero(self):
+        with pytest.raises(AnalysisError):
+            max_workers_for_pkg(0.0)
+
+
+class TestHeadHelpers:
+    def test_select_threshold_default(self):
+        assert select_threshold(50) == pytest.approx(1 / 250)
+
+    def test_select_threshold_scaled(self):
+        assert select_threshold(50, fraction_of_default=2.0) == pytest.approx(2 / 250)
+
+    def test_select_threshold_rejects_bad_fraction(self):
+        with pytest.raises(AnalysisError):
+            select_threshold(50, fraction_of_default=0.0)
+
+    def test_head_cardinality_monotone_in_theta(self):
+        dist = ZipfDistribution(1.2, 10_000)
+        low = head_cardinality(dist, 1 / 500)
+        high = head_cardinality(dist, 2 / 50)
+        assert low >= high
+
+    def test_head_cardinality_rejects_bad_theta(self):
+        dist = ZipfDistribution(1.2, 100)
+        with pytest.raises(AnalysisError):
+            head_cardinality(dist, 0.0)
+
+    def test_head_mass_between_zero_and_one(self):
+        dist = ZipfDistribution(1.6, 1000)
+        mass = head_mass(dist, 1 / 250)
+        assert 0.0 <= mass <= 1.0
+
+    def test_head_probabilities_length(self):
+        dist = ZipfDistribution(1.6, 1000)
+        theta = 1 / 100
+        assert len(head_probabilities(dist, theta)) == head_cardinality(dist, theta)
+
+    def test_head_keys_from_mapping(self):
+        counts = {"hot": 60, "warm": 25, "cold": 15}
+        assert head_keys(counts, theta=0.2) == ["hot", "warm"]
+
+    def test_head_keys_from_sequence(self):
+        assert head_keys([60, 25, 15], theta=0.5) == [0]
+
+    def test_head_keys_with_explicit_total(self):
+        counts = {"hot": 60}
+        assert head_keys(counts, theta=0.5, total=200) == []
+
+    def test_head_keys_empty_total(self):
+        assert head_keys({}, theta=0.5) == []
+
+    def test_head_keys_rejects_bad_theta(self):
+        with pytest.raises(AnalysisError):
+            head_keys({"a": 1}, theta=-0.1)
+
+    def test_uniform_upper_bound_is_5n_for_default(self):
+        assert uniform_head_upper_bound(20) == 100
+
+    def test_uniform_upper_bound_custom_theta(self):
+        assert uniform_head_upper_bound(20, theta=0.1) == 10
+
+    def test_uniform_upper_bound_rejects_bad_theta(self):
+        with pytest.raises(AnalysisError):
+            uniform_head_upper_bound(20, theta=0.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the memory-overhead models (Section IV-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.memory import (
+    memory_dchoices,
+    memory_model_for_zipf,
+    memory_pkg,
+    memory_shuffle,
+    memory_wchoices,
+    relative_overhead,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestMemoryFormulas:
+    def test_pkg_counts_min_f_two(self):
+        assert memory_pkg([10, 1, 3]) == 2 + 1 + 2
+
+    def test_shuffle_counts_min_f_n(self):
+        assert memory_shuffle([10, 1, 3], num_workers=4) == 4 + 1 + 3
+
+    def test_dchoices_splits_head_and_tail(self):
+        counts = [100, 50, 3, 1]
+        value = memory_dchoices(counts, head_size=2, num_choices=5)
+        assert value == 5 + 5 + 2 + 1
+
+    def test_wchoices_uses_n_for_head(self):
+        counts = [100, 50, 3, 1]
+        assert memory_wchoices(counts, head_size=1, num_workers=10) == 10 + 2 + 2 + 1
+
+    def test_dchoices_equals_pkg_when_head_empty(self):
+        counts = [9, 4, 1]
+        assert memory_dchoices(counts, head_size=0, num_choices=7) == memory_pkg(counts)
+
+    def test_ordering_pkg_le_dc_le_wc_le_sg(self):
+        counts = [1000, 500, 200, 50, 10, 3, 1, 1]
+        n = 20
+        pkg = memory_pkg(counts)
+        dchoices = memory_dchoices(counts, head_size=3, num_choices=6)
+        wchoices = memory_wchoices(counts, head_size=3, num_workers=n)
+        shuffle = memory_shuffle(counts, n)
+        assert pkg <= dchoices <= wchoices <= shuffle
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            memory_pkg([])
+        with pytest.raises(AnalysisError):
+            memory_pkg([-1])
+        with pytest.raises(AnalysisError):
+            memory_shuffle([1], 0)
+        with pytest.raises(AnalysisError):
+            memory_dchoices([1, 2], head_size=3, num_choices=2)
+        with pytest.raises(AnalysisError):
+            memory_dchoices([1, 2], head_size=1, num_choices=1)
+
+    def test_relative_overhead(self):
+        assert relative_overhead(130, 100) == pytest.approx(30.0)
+        assert relative_overhead(80, 100) == pytest.approx(-20.0)
+
+    def test_relative_overhead_rejects_zero_reference(self):
+        with pytest.raises(AnalysisError):
+            relative_overhead(10, 0)
+
+
+class TestMemoryModelForZipf:
+    def test_model_fields_consistent(self):
+        model = memory_model_for_zipf(
+            exponent=1.4, num_keys=10_000, num_messages=1_000_000, num_workers=50
+        )
+        assert model.num_workers == 50
+        assert model.pkg <= model.dchoices <= model.wchoices <= model.shuffle
+        assert model.head_size >= 0
+        assert 2 <= model.num_choices <= 50
+
+    def test_overheads_vs_pkg_bounded(self):
+        # Figure 5: the worst case stays within a few tens of percent.
+        for skew in (0.6, 1.0, 1.4, 2.0):
+            model = memory_model_for_zipf(
+                exponent=skew, num_keys=10_000, num_messages=10_000_000, num_workers=100
+            )
+            assert model.wchoices_vs_pkg >= model.dchoices_vs_pkg >= 0.0
+            assert model.wchoices_vs_pkg < 50.0
+
+    def test_overheads_vs_sg_strongly_negative(self):
+        # Figure 6: both schemes save at least ~70% compared to SG.
+        for skew in (0.6, 1.0, 1.4, 2.0):
+            model = memory_model_for_zipf(
+                exponent=skew, num_keys=10_000, num_messages=10_000_000, num_workers=50
+            )
+            assert model.dchoices_vs_shuffle < -60.0
+            assert model.wchoices_vs_shuffle < -60.0
+
+    def test_custom_theta_respected(self):
+        model = memory_model_for_zipf(
+            exponent=1.4,
+            num_keys=1000,
+            num_messages=100_000,
+            num_workers=20,
+            theta=0.05,
+        )
+        assert model.theta == 0.05
+
+    def test_rejects_bad_message_count(self):
+        with pytest.raises(AnalysisError):
+            memory_model_for_zipf(1.0, 100, 0, 10)

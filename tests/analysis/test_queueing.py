@@ -1,0 +1,129 @@
+"""Unit tests for the analytical queueing model, cross-checked against the
+discrete-event cluster simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.queueing import (
+    ClusterModel,
+    bottleneck_queue_latency_ms,
+    latency_ratio,
+    max_load_share,
+    sustainable_throughput,
+    throughput_ratio,
+)
+from repro.cluster.runner import run_cluster_experiment
+from repro.exceptions import AnalysisError
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+def _model(**overrides) -> ClusterModel:
+    parameters = {
+        "num_workers": 80,
+        "service_time_ms": 1.0,
+        "offered_load_per_second": 4000.0,
+    }
+    parameters.update(overrides)
+    return ClusterModel(**parameters)
+
+
+class TestClusterModel:
+    def test_capacities(self):
+        model = _model()
+        assert model.worker_capacity_per_second == pytest.approx(1000.0)
+        assert model.cluster_capacity_per_second == pytest.approx(80_000.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            _model(num_workers=0)
+        with pytest.raises(AnalysisError):
+            _model(service_time_ms=0.0)
+        with pytest.raises(AnalysisError):
+            _model(offered_load_per_second=0.0)
+
+
+class TestMaxLoadShare:
+    def test_balanced(self):
+        assert max_load_share(0.0, 10) == pytest.approx(0.1)
+
+    def test_with_imbalance(self):
+        assert max_load_share(0.25, 10) == pytest.approx(0.35)
+
+    def test_capped_at_one(self):
+        assert max_load_share(0.99, 10) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            max_load_share(-0.1, 10)
+        with pytest.raises(AnalysisError):
+            max_load_share(0.1, 0)
+
+
+class TestThroughputModel:
+    def test_balanced_cluster_is_input_limited(self):
+        assert sustainable_throughput(_model(), 0.0) == pytest.approx(4000.0)
+
+    def test_imbalanced_cluster_is_bottleneck_limited(self):
+        # share = 1/80 + 0.5 ~= 0.5125 -> bottleneck at ~1951 msg/s
+        value = sustainable_throughput(_model(), 0.5)
+        assert value == pytest.approx(1000.0 / (1 / 80 + 0.5), rel=1e-6)
+
+    def test_monotone_in_imbalance(self):
+        values = [sustainable_throughput(_model(), i / 10) for i in range(10)]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_throughput_ratio(self):
+        ratio = throughput_ratio(_model(), imbalance_a=0.0, imbalance_b=0.5)
+        assert ratio > 1.5
+
+    def test_predicts_simulator_kg_throughput(self):
+        # Run KG on the simulator, then feed its measured imbalance to the
+        # model and compare the predicted throughput with the measured one.
+        workload = ZipfWorkload(exponent=2.0, num_keys=2000, num_messages=30_000, seed=3)
+        result = run_cluster_experiment(
+            workload, "KG", num_sources=16, num_workers=32, service_time_ms=1.0,
+            seed=1,
+        )
+        model = ClusterModel(
+            num_workers=32,
+            service_time_ms=1.0,
+            offered_load_per_second=16 / 0.012,  # default source overhead
+        )
+        predicted = sustainable_throughput(model, result.imbalance)
+        assert result.throughput_per_second == pytest.approx(predicted, rel=0.25)
+
+
+class TestLatencyModel:
+    def test_unsaturated_latency_is_service_time(self):
+        assert bottleneck_queue_latency_ms(_model(), 0.0, total_in_flight=1000) == 1.0
+
+    def test_saturated_latency_scales_with_window(self):
+        small = bottleneck_queue_latency_ms(_model(), 0.5, total_in_flight=1000)
+        large = bottleneck_queue_latency_ms(_model(), 0.5, total_in_flight=5000)
+        assert large > small > 1.0
+
+    def test_latency_ratio(self):
+        ratio = latency_ratio(_model(), 0.0, 0.5, total_in_flight=4800)
+        assert ratio < 0.01
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            bottleneck_queue_latency_ms(_model(), 0.0, total_in_flight=0)
+
+    def test_bounds_simulator_kg_latency(self):
+        workload = ZipfWorkload(exponent=2.0, num_keys=2000, num_messages=30_000, seed=3)
+        result = run_cluster_experiment(
+            workload, "KG", num_sources=16, num_workers=32, service_time_ms=1.0,
+            seed=1, max_pending_per_source=100,
+        )
+        model = ClusterModel(
+            num_workers=32, service_time_ms=1.0, offered_load_per_second=16 / 0.012
+        )
+        predicted = bottleneck_queue_latency_ms(
+            model, result.imbalance, total_in_flight=16 * 100
+        )
+        # the model is an upper bound on the bottleneck's average latency,
+        # and both sides must agree that heavy queueing is happening
+        assert result.latency.max_average <= predicted
+        assert result.latency.max_average > 20 * model.service_time_ms

@@ -1,0 +1,125 @@
+"""Unit tests for the finite Zipf distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.zipf import ZipfDistribution, empirical_probabilities, zipf_probabilities
+from repro.exceptions import ConfigurationError
+
+
+class TestZipfDistribution:
+    def test_probabilities_sum_to_one(self):
+        dist = ZipfDistribution(exponent=1.3, num_keys=5000)
+        assert float(dist.probabilities.sum()) == pytest.approx(1.0)
+
+    def test_probabilities_non_increasing(self):
+        dist = ZipfDistribution(exponent=0.9, num_keys=1000)
+        probabilities = dist.probabilities
+        assert np.all(np.diff(probabilities) <= 1e-15)
+
+    def test_uniform_when_exponent_zero(self):
+        dist = ZipfDistribution(exponent=0.0, num_keys=10)
+        assert np.allclose(dist.probabilities, 0.1)
+
+    def test_p1_grows_with_skew(self):
+        p1_values = [
+            ZipfDistribution(exponent=z, num_keys=1000).p1 for z in (0.5, 1.0, 1.5, 2.0)
+        ]
+        assert all(b > a for a, b in zip(p1_values, p1_values[1:]))
+
+    def test_paper_claim_z2_p1_near_sixty_percent(self):
+        # "under a Zipf distribution with exponent z = 2.0, the most frequent
+        # key represents nearly 60% of the occurrences"
+        dist = ZipfDistribution(exponent=2.0, num_keys=10_000)
+        assert 0.55 < dist.p1 < 0.65
+
+    def test_probability_by_rank(self):
+        dist = ZipfDistribution(exponent=1.0, num_keys=100)
+        assert dist.probability(1) == pytest.approx(dist.p1)
+        assert dist.probability(2) == pytest.approx(dist.p1 / 2)
+
+    def test_probability_rank_out_of_range(self):
+        dist = ZipfDistribution(exponent=1.0, num_keys=100)
+        with pytest.raises(ConfigurationError):
+            dist.probability(0)
+        with pytest.raises(ConfigurationError):
+            dist.probability(101)
+
+    def test_prefix_and_tail_mass_complementary(self):
+        dist = ZipfDistribution(exponent=1.2, num_keys=500)
+        for length in (0, 1, 10, 500):
+            assert dist.prefix_mass(length) + dist.tail_mass(length) == pytest.approx(1.0)
+
+    def test_prefix_mass_monotone(self):
+        dist = ZipfDistribution(exponent=1.2, num_keys=500)
+        masses = [dist.prefix_mass(length) for length in range(0, 501, 50)]
+        assert all(b >= a for a, b in zip(masses, masses[1:]))
+
+    def test_keys_above_threshold(self):
+        dist = ZipfDistribution(exponent=1.0, num_keys=100)
+        count = dist.keys_above(dist.probability(10))
+        assert count == 10
+
+    def test_keys_above_zero_threshold(self):
+        dist = ZipfDistribution(exponent=1.0, num_keys=100)
+        assert dist.keys_above(0.0) == 100
+
+    def test_keys_above_large_threshold(self):
+        dist = ZipfDistribution(exponent=1.0, num_keys=100)
+        assert dist.keys_above(1.0) == 0
+
+    def test_expected_counts(self):
+        dist = ZipfDistribution(exponent=1.0, num_keys=10)
+        counts = dist.expected_counts(1000)
+        assert counts.sum() == pytest.approx(1000)
+        assert counts[0] == pytest.approx(1000 * dist.p1)
+
+    def test_expected_counts_rejects_negative(self):
+        dist = ZipfDistribution(exponent=1.0, num_keys=10)
+        with pytest.raises(ConfigurationError):
+            dist.expected_counts(-1)
+
+    def test_sample_ranks_within_support(self):
+        dist = ZipfDistribution(exponent=1.5, num_keys=50)
+        rng = np.random.default_rng(0)
+        ranks = dist.sample_ranks(1000, rng)
+        assert ranks.min() >= 1
+        assert ranks.max() <= 50
+
+    def test_sample_ranks_skewed_towards_low_ranks(self):
+        dist = ZipfDistribution(exponent=2.0, num_keys=50)
+        rng = np.random.default_rng(0)
+        ranks = dist.sample_ranks(5000, rng)
+        assert (ranks == 1).mean() == pytest.approx(dist.p1, abs=0.05)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(exponent=-0.1, num_keys=10)
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(exponent=1.0, num_keys=0)
+
+
+class TestHelpers:
+    def test_zipf_probabilities_cached_equivalence(self):
+        direct = ZipfDistribution(1.1, 100).probabilities
+        cached = zipf_probabilities(1.1, 100)
+        assert np.allclose(direct, np.asarray(cached))
+
+    def test_empirical_probabilities_sorted_and_normalised(self):
+        probabilities = empirical_probabilities([5, 50, 10])
+        assert probabilities[0] == pytest.approx(50 / 65)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_empirical_probabilities_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            empirical_probabilities([])
+
+    def test_empirical_probabilities_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            empirical_probabilities([1, -2])
+
+    def test_empirical_probabilities_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            empirical_probabilities([0, 0])

@@ -1,0 +1,149 @@
+"""Unit tests for the building blocks of the cluster simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.events import EventQueue, EventType
+from repro.cluster.latency import LatencyCollector
+from repro.cluster.queues import WorkerQueue
+from repro.cluster.topology import ClusterTopology
+from repro.exceptions import ConfigurationError, SimulationError
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, EventType.SOURCE_EMIT, "late")
+        queue.push(1.0, EventType.SOURCE_EMIT, "early")
+        queue.push(2.0, EventType.WORKER_DONE, "middle")
+        assert [queue.pop().payload for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        queue.push(1.0, EventType.SOURCE_EMIT, "first")
+        queue.push(1.0, EventType.SOURCE_EMIT, "second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, EventType.SOURCE_EMIT)
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, EventType.SOURCE_EMIT)
+        assert len(queue) == 1
+        assert queue
+
+
+class TestWorkerQueue:
+    def test_service_time_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerQueue(service_time_ms=0.0)
+
+    def test_idle_worker_serves_immediately(self):
+        worker = WorkerQueue(service_time_ms=2.0)
+        assert worker.enqueue(10.0) == 12.0
+
+    def test_busy_worker_queues(self):
+        worker = WorkerQueue(service_time_ms=1.0)
+        first = worker.enqueue(0.0)
+        second = worker.enqueue(0.0)
+        assert first == 1.0
+        assert second == 2.0
+
+    def test_queue_delay(self):
+        worker = WorkerQueue(service_time_ms=1.0)
+        worker.enqueue(0.0)
+        worker.enqueue(0.0)
+        assert worker.queue_delay(0.5) == pytest.approx(1.5)
+        assert worker.queue_delay(10.0) == 0.0
+
+    def test_completed_and_busy_time(self):
+        worker = WorkerQueue(service_time_ms=1.5)
+        worker.enqueue(0.0)
+        worker.enqueue(0.0)
+        assert worker.completed == 2
+        assert worker.busy_time == pytest.approx(3.0)
+
+    def test_utilization(self):
+        worker = WorkerQueue(service_time_ms=1.0)
+        worker.enqueue(0.0)
+        assert worker.utilization(4.0) == pytest.approx(0.25)
+        assert worker.utilization(0.0) == 0.0
+        assert worker.utilization(0.5) == 1.0
+
+
+class TestLatencyCollector:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            LatencyCollector(0)
+
+    def test_record_validates_inputs(self):
+        collector = LatencyCollector(2)
+        with pytest.raises(SimulationError):
+            collector.record(2, 1.0)
+        with pytest.raises(SimulationError):
+            collector.record(0, -1.0)
+
+    def test_stats_aggregation(self):
+        collector = LatencyCollector(2)
+        for latency in (1.0, 2.0, 3.0):
+            collector.record(0, latency)
+        collector.record(1, 10.0)
+        stats = collector.stats()
+        assert stats.samples == 4
+        assert stats.max_average == pytest.approx(10.0)
+        assert stats.p99 <= 10.0
+        assert stats.p50 <= stats.p95 <= stats.p99
+
+    def test_empty_collector_stats(self):
+        stats = LatencyCollector(3).stats()
+        assert stats.samples == 0
+        assert stats.max_average == 0.0
+
+    def test_as_row_keys(self):
+        collector = LatencyCollector(1)
+        collector.record(0, 5.0)
+        row = collector.stats().as_row()
+        assert {"max_avg_ms", "p50_ms", "p95_ms", "p99_ms", "samples"} <= set(row)
+
+
+class TestClusterTopology:
+    def test_defaults_match_paper(self):
+        topology = ClusterTopology(scheme="PKG")
+        assert topology.num_sources == 48
+        assert topology.num_workers == 80
+        assert topology.service_time_ms == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(scheme="PKG", num_sources=0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(scheme="PKG", num_workers=0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(scheme="PKG", service_time_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(scheme="PKG", source_overhead_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(scheme="PKG", max_pending_per_source=0)
+
+    def test_ideal_throughput(self):
+        topology = ClusterTopology(scheme="SG", num_workers=10, service_time_ms=2.0)
+        assert topology.ideal_throughput_per_second == pytest.approx(5000.0)
+
+    def test_source_limited_throughput(self):
+        topology = ClusterTopology(
+            scheme="SG", num_sources=10, source_overhead_ms=10.0
+        )
+        assert topology.source_limited_throughput_per_second == pytest.approx(1000.0)
+
+    def test_source_limit_infinite_when_free(self):
+        topology = ClusterTopology(scheme="SG", source_overhead_ms=0.0)
+        assert topology.source_limited_throughput_per_second == float("inf")

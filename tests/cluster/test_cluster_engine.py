@@ -1,0 +1,140 @@
+"""Unit and behavioural tests for the cluster discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.runner import compare_schemes, run_cluster_experiment
+from repro.cluster.topology import ClusterTopology
+from repro.exceptions import SimulationError
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+def _small_topology(scheme: str, **overrides) -> ClusterTopology:
+    parameters = {
+        "scheme": scheme,
+        "num_sources": 4,
+        "num_workers": 8,
+        "service_time_ms": 1.0,
+        "source_overhead_ms": 1.0,
+        "max_pending_per_source": 10,
+        "seed": 0,
+    }
+    parameters.update(overrides)
+    return ClusterTopology(**parameters)
+
+
+class TestClusterEngine:
+    def test_processes_every_message(self):
+        engine = ClusterEngine(_small_topology("SG"))
+        result = engine.run(["a", "b", "c", "d"] * 100)
+        assert result.num_messages == 400
+
+    def test_empty_workload_rejected(self):
+        engine = ClusterEngine(_small_topology("SG"))
+        with pytest.raises(SimulationError):
+            engine.run([])
+
+    def test_throughput_positive_and_bounded(self):
+        topology = _small_topology("SG")
+        engine = ClusterEngine(topology)
+        result = engine.run(["k"] * 1000)
+        assert result.throughput_per_second > 0
+        assert result.throughput_per_second <= topology.ideal_throughput_per_second * 1.01
+
+    def test_duration_consistent_with_throughput(self):
+        engine = ClusterEngine(_small_topology("SG"))
+        result = engine.run(["k"] * 500)
+        recomputed = result.num_messages / (result.duration_ms / 1000.0)
+        assert result.throughput_per_second == pytest.approx(recomputed)
+
+    def test_latency_at_least_service_time(self):
+        engine = ClusterEngine(_small_topology("SG", service_time_ms=2.0))
+        result = engine.run(["k"] * 200)
+        assert result.latency.p50 >= 2.0
+
+    def test_utilization_vector_length(self):
+        engine = ClusterEngine(_small_topology("SG"))
+        result = engine.run(["k"] * 100)
+        assert len(result.worker_utilization) == 8
+        assert all(0.0 <= value <= 1.0 for value in result.worker_utilization)
+
+    def test_deterministic_given_seed(self):
+        workload = list(ZipfWorkload(1.5, 100, 2000, seed=3))
+        first = ClusterEngine(_small_topology("PKG")).run(workload)
+        second = ClusterEngine(_small_topology("PKG")).run(workload)
+        assert first.throughput_per_second == pytest.approx(second.throughput_per_second)
+        assert first.latency.p99 == pytest.approx(second.latency.p99)
+
+    def test_summary_keys(self):
+        result = ClusterEngine(_small_topology("SG")).run(["k"] * 50)
+        summary = result.summary()
+        assert {"scheme", "throughput_per_s", "p99_ms"} <= set(summary)
+
+
+class TestClusterBehaviour:
+    """The qualitative claims of Figures 13 and 14 on a small cluster."""
+
+    @pytest.fixture(scope="class")
+    def skewed_results(self):
+        def factory():
+            return ZipfWorkload(exponent=2.0, num_keys=1000, num_messages=20_000, seed=5)
+
+        results = compare_schemes(
+            factory,
+            schemes=("KG", "PKG", "W-C", "SG"),
+            num_sources=8,
+            num_workers=16,
+            service_time_ms=1.0,
+            source_overhead_ms=2.0,
+            max_pending_per_source=50,
+            seed=1,
+        )
+        return {result.scheme: result for result in results}
+
+    def test_kg_has_lowest_throughput(self, skewed_results):
+        kg = skewed_results["KG"].throughput_per_second
+        assert kg <= skewed_results["SG"].throughput_per_second
+        assert kg <= skewed_results["W-C"].throughput_per_second
+
+    def test_wchoices_matches_shuffle_throughput(self, skewed_results):
+        wc = skewed_results["W-C"].throughput_per_second
+        sg = skewed_results["SG"].throughput_per_second
+        assert wc == pytest.approx(sg, rel=0.15)
+
+    def test_kg_has_highest_latency(self, skewed_results):
+        assert (
+            skewed_results["KG"].latency.max_average
+            >= skewed_results["SG"].latency.max_average
+        )
+
+    def test_wchoices_latency_below_pkg(self, skewed_results):
+        assert (
+            skewed_results["W-C"].latency.p99
+            <= skewed_results["PKG"].latency.p99 + 1e-9
+        )
+
+
+class TestRunnerHelpers:
+    def test_run_cluster_experiment_defaults(self):
+        workload = ZipfWorkload(1.5, 100, 2000, seed=2)
+        result = run_cluster_experiment(
+            workload,
+            "SG",
+            num_sources=4,
+            num_workers=8,
+            source_overhead_ms=1.0,
+        )
+        assert result.scheme == "SG"
+        assert result.num_messages == 2000
+
+    def test_compare_schemes_returns_one_result_per_scheme(self):
+        results = compare_schemes(
+            lambda: ZipfWorkload(1.2, 50, 500, seed=1),
+            schemes=("KG", "SG"),
+            num_sources=2,
+            num_workers=4,
+            source_overhead_ms=1.0,
+        )
+        assert [result.scheme for result in results] == ["KG", "SG"]

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.zipf import ZipfDistribution
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic python RNG for tests that need arbitrary draws."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_zipf_distribution() -> ZipfDistribution:
+    """A Zipf(1.5) distribution over 1000 keys."""
+    return ZipfDistribution(exponent=1.5, num_keys=1000)
+
+
+@pytest.fixture
+def skewed_workload() -> ZipfWorkload:
+    """A strongly skewed stream, small enough for fast unit tests."""
+    return ZipfWorkload(exponent=2.0, num_keys=1000, num_messages=20_000, seed=7)
+
+
+@pytest.fixture
+def mild_workload() -> ZipfWorkload:
+    """A mildly skewed stream."""
+    return ZipfWorkload(exponent=0.8, num_keys=1000, num_messages=20_000, seed=7)

@@ -1,0 +1,116 @@
+"""Unit tests for topology declaration and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.graph import Edge, Topology
+from repro.exceptions import ConfigurationError
+from repro.operators.aggregations import CountAggregator
+
+
+def _counting_topology() -> Topology:
+    topology = Topology("counts")
+    topology.add_vertex("counter", CountAggregator, parallelism=4)
+    topology.set_source("counter", scheme="PKG")
+    return topology
+
+
+class TestVertexAndEdge:
+    def test_vertex_validation(self):
+        topology = Topology("t")
+        with pytest.raises(ConfigurationError):
+            topology.add_vertex("", CountAggregator)
+        with pytest.raises(ConfigurationError):
+            topology.add_vertex("v", CountAggregator, parallelism=0)
+
+    def test_edge_scheme_canonicalised(self):
+        edge = Edge(source="a", target="b", scheme="dchoices")
+        assert edge.scheme == "D-C"
+
+    def test_edge_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Edge(source="a", target="b", scheme="nonsense")
+
+
+class TestTopologyConstruction:
+    def test_duplicate_vertex_rejected(self):
+        topology = Topology("t")
+        topology.add_vertex("v", CountAggregator)
+        with pytest.raises(ConfigurationError):
+            topology.add_vertex("v", CountAggregator)
+
+    def test_edge_with_unknown_vertex_rejected(self):
+        topology = Topology("t")
+        topology.add_vertex("v", CountAggregator)
+        with pytest.raises(ConfigurationError):
+            topology.add_edge("v", "missing")
+
+    def test_source_cannot_be_target(self):
+        topology = Topology("t")
+        topology.add_vertex("v", CountAggregator)
+        with pytest.raises(ConfigurationError):
+            topology.add_edge("v", Topology.SOURCE)
+
+    def test_empty_topology_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology("")
+
+    def test_chaining(self):
+        topology = (
+            Topology("t")
+            .add_vertex("a", CountAggregator)
+            .add_vertex("b", CountAggregator)
+            .set_source("a")
+            .add_edge("a", "b", scheme="W-C", theta=0.01)
+        )
+        assert topology.outgoing("a")[0].scheme_options == {"theta": 0.01}
+
+
+class TestTopologyValidation:
+    def test_valid_topology_passes(self):
+        _counting_topology().validate()
+
+    def test_missing_source_rejected(self):
+        topology = Topology("t")
+        topology.add_vertex("v", CountAggregator)
+        with pytest.raises(ConfigurationError):
+            topology.validate()
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology("t").validate()
+
+    def test_unreachable_vertex_rejected(self):
+        topology = _counting_topology()
+        topology.add_vertex("orphan", CountAggregator)
+        with pytest.raises(ConfigurationError):
+            topology.validate()
+
+    def test_cycle_rejected(self):
+        topology = Topology("t")
+        topology.add_vertex("a", CountAggregator)
+        topology.add_vertex("b", CountAggregator)
+        topology.set_source("a")
+        topology.add_edge("a", "b")
+        topology.add_edge("b", "a")
+        with pytest.raises(ConfigurationError):
+            topology.validate()
+
+    def test_topological_order(self):
+        topology = Topology("t")
+        for name in ("a", "b", "c"):
+            topology.add_vertex(name, CountAggregator)
+        topology.set_source("a")
+        topology.add_edge("a", "b")
+        topology.add_edge("b", "c")
+        order = topology.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_queries(self):
+        topology = _counting_topology()
+        assert topology.vertex("counter").parallelism == 4
+        assert len(topology.source_edges()) == 1
+        assert topology.incoming("counter")[0].source == Topology.SOURCE
+        with pytest.raises(ConfigurationError):
+            topology.vertex("missing")

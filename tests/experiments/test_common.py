@@ -1,0 +1,60 @@
+"""Unit tests for the experiment plumbing (result container, formatting)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, format_table, print_result
+
+
+class TestExperimentResult:
+    def test_column_names_in_order(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        result.rows.append({"a": 1, "b": 2})
+        result.rows.append({"b": 3, "c": 4})
+        assert result.column_names() == ["a", "b", "c"]
+
+    def test_series_extraction(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        result.rows = [
+            {"workers": 5, "imbalance": 0.1},
+            {"workers": 10, "imbalance": 0.2},
+        ]
+        assert result.series("workers", "imbalance") == {5: 0.1, 10: 0.2}
+
+    def test_filtered(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        result.rows = [
+            {"scheme": "PKG", "value": 1},
+            {"scheme": "D-C", "value": 2},
+            {"scheme": "PKG", "value": 3},
+        ]
+        assert len(result.filtered(scheme="PKG")) == 2
+        assert result.filtered(scheme="D-C")[0]["value"] == 2
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_header_and_rows_rendered(self):
+        text = format_table([{"scheme": "PKG", "imbalance": 0.25}])
+        assert "scheme" in text
+        assert "PKG" in text
+        assert "0.25" in text
+
+    def test_small_floats_use_scientific_notation(self):
+        text = format_table([{"value": 3.2e-7}])
+        assert "e-07" in text
+
+    def test_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["a"])
+        assert "b" not in text.splitlines()[0]
+
+    def test_print_result_smoke(self, capsys):
+        result = ExperimentResult(experiment_id="figX", title="demo")
+        result.parameters = {"n": 5}
+        result.rows = [{"value": 1}]
+        result.notes = ["a note"]
+        print_result(result)
+        captured = capsys.readouterr().out
+        assert "figX" in captured
+        assert "a note" in captured

@@ -1,0 +1,188 @@
+"""Behavioural tests for the experiment drivers (scaled-down runs).
+
+Each driver is run at (or below) its "quick" scale and the rows are checked
+against the qualitative claims of the corresponding figure/table in the
+paper.  These are the same checks EXPERIMENTS.md reports on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig01_scale_imbalance,
+    fig03_head_cardinality,
+    fig04_fraction_workers,
+    fig05_memory_vs_pkg,
+    fig06_memory_vs_sg,
+    fig08_head_tail_load,
+    fig10_zipf_imbalance,
+    fig13_throughput,
+    fig14_latency,
+    table1_datasets,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    config = fig01_scale_imbalance.Fig01Config(
+        worker_counts=(5, 50),
+        num_messages=60_000,
+        num_body_keys=10_000,
+    )
+    return fig01_scale_imbalance.run(config)
+
+
+class TestFig01:
+    def test_rows_cover_all_combinations(self, fig1_result):
+        assert len(fig1_result.rows) == 3 * 2
+
+    def test_dchoices_beats_pkg_at_scale(self, fig1_result):
+        pkg = fig1_result.filtered(scheme="PKG", workers=50)[0]["imbalance"]
+        dchoices = fig1_result.filtered(scheme="D-C", workers=50)[0]["imbalance"]
+        wchoices = fig1_result.filtered(scheme="W-C", workers=50)[0]["imbalance"]
+        assert dchoices < pkg
+        assert wchoices < pkg
+
+    def test_imbalances_are_probabilities(self, fig1_result):
+        assert all(0.0 <= row["imbalance"] <= 1.0 for row in fig1_result.rows)
+
+
+class TestFig03:
+    def test_head_small_relative_to_keyspace(self):
+        result = fig03_head_cardinality.run(fig03_head_cardinality.Fig03Config.quick())
+        assert all(row["head_cardinality"] <= 1000 for row in result.rows)
+
+    def test_lower_threshold_gives_larger_head(self):
+        result = fig03_head_cardinality.run(fig03_head_cardinality.Fig03Config.quick())
+        for workers in (50, 100):
+            for skew in (0.4, 1.2, 2.0):
+                tight = result.filtered(workers=workers, skew=skew, theta="2/n")
+                loose = result.filtered(workers=workers, skew=skew, theta="1/(5n)")
+                assert loose[0]["head_cardinality"] >= tight[0]["head_cardinality"]
+
+
+class TestFig04:
+    def test_d_between_2_and_n(self):
+        result = fig04_fraction_workers.run(fig04_fraction_workers.Fig04Config.quick())
+        for row in result.rows:
+            assert 2 <= row["d"] <= row["workers"]
+
+    def test_fraction_below_one_at_scale(self):
+        # the headline claim of Figure 4: at n in {50, 100}, d < n
+        result = fig04_fraction_workers.run(fig04_fraction_workers.Fig04Config.quick())
+        for row in result.rows:
+            if row["workers"] >= 50:
+                assert row["d_over_n"] < 1.0
+
+    def test_d_non_decreasing_in_skew(self):
+        result = fig04_fraction_workers.run(fig04_fraction_workers.Fig04Config.quick())
+        for workers in (50, 100):
+            values = [
+                row["d"]
+                for row in result.rows
+                if row["workers"] == workers
+            ]
+            assert values == sorted(values)
+
+
+class TestFig05AndFig06:
+    def test_memory_overhead_vs_pkg_bounded(self):
+        result = fig05_memory_vs_pkg.run(fig05_memory_vs_pkg.Fig05Config.quick())
+        for row in result.rows:
+            assert row["dchoices_vs_pkg_pct"] >= -1e-9
+            assert row["wchoices_vs_pkg_pct"] <= 60.0
+            assert row["dchoices_vs_pkg_pct"] <= row["wchoices_vs_pkg_pct"] + 1e-9
+
+    def test_memory_saving_vs_sg_large(self):
+        result = fig06_memory_vs_sg.run(fig06_memory_vs_sg.Fig06Config.quick())
+        for row in result.rows:
+            assert row["dchoices_vs_sg_pct"] < -50.0
+            assert row["wchoices_vs_sg_pct"] < -50.0
+
+
+class TestFig08:
+    def test_load_fractions_sum_to_hundred(self):
+        config = fig08_head_tail_load.Fig08Config(num_messages=40_000)
+        result = fig08_head_tail_load.run(config)
+        for scheme in ("PKG", "W-C", "RR"):
+            rows = result.filtered(scheme=scheme)
+            assert sum(row["total_load_pct"] for row in rows) == pytest.approx(100.0)
+
+    def test_wchoices_closer_to_ideal_than_pkg(self):
+        config = fig08_head_tail_load.Fig08Config(num_messages=40_000)
+        result = fig08_head_tail_load.run(config)
+        ideal = 100.0 / config.num_workers
+        pkg_max = max(row["total_load_pct"] for row in result.filtered(scheme="PKG"))
+        wc_max = max(row["total_load_pct"] for row in result.filtered(scheme="W-C"))
+        assert abs(wc_max - ideal) <= abs(pkg_max - ideal)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = fig10_zipf_imbalance.Fig10Config(
+            skews=(2.0,),
+            worker_counts=(50,),
+            key_counts=(10_000,),
+            num_messages=60_000,
+        )
+        return fig10_zipf_imbalance.run(config)
+
+    def test_all_schemes_present(self, result):
+        assert {row["scheme"] for row in result.rows} == {"PKG", "D-C", "W-C", "RR"}
+
+    def test_ordering_at_high_skew_and_scale(self, result):
+        values = {row["scheme"]: row["imbalance"] for row in result.rows}
+        assert values["W-C"] <= values["PKG"]
+        assert values["D-C"] <= values["PKG"]
+
+
+class TestFig13AndFig14:
+    @pytest.fixture(scope="class")
+    def throughput_result(self):
+        config = fig13_throughput.Fig13Config(
+            skews=(2.0,),
+            num_messages=30_000,
+            num_sources=16,
+            num_workers=32,
+        )
+        return fig13_throughput.run(config)
+
+    @pytest.fixture(scope="class")
+    def latency_result(self):
+        config = fig14_latency.Fig14Config(
+            skews=(2.0,),
+            num_messages=30_000,
+            num_sources=16,
+            num_workers=32,
+        )
+        return fig14_latency.run(config)
+
+    def test_throughput_ordering(self, throughput_result):
+        values = {row["scheme"]: row["throughput_per_s"] for row in throughput_result.rows}
+        assert values["KG"] <= values["PKG"] * 1.05
+        assert values["KG"] <= values["SG"]
+        assert values["D-C"] >= 0.8 * values["SG"]
+        assert values["W-C"] >= 0.8 * values["SG"]
+
+    def test_latency_ordering(self, latency_result):
+        values = {row["scheme"]: row["p99_ms"] for row in latency_result.rows}
+        assert values["SG"] <= values["KG"]
+        assert values["W-C"] <= values["KG"]
+
+    def test_latency_rows_have_percentiles(self, latency_result):
+        assert {"p50_ms", "p95_ms", "p99_ms", "max_avg_ms"} <= set(latency_result.rows[0])
+
+
+class TestTable1:
+    def test_rows_for_every_dataset(self):
+        config = table1_datasets.Table1Config(measured_messages=20_000)
+        result = table1_datasets.run(config)
+        assert {row["symbol"] for row in result.rows} == {"WP", "TW", "CT", "ZF"}
+
+    def test_measured_p1_close_to_published_for_wp(self):
+        config = table1_datasets.Table1Config(measured_messages=50_000)
+        result = table1_datasets.run(config)
+        wp = next(row for row in result.rows if row["symbol"] == "WP")
+        assert wp["repro_p1_pct"] == pytest.approx(9.32, abs=1.5)

@@ -1,0 +1,96 @@
+"""Tests for the experiment registry and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ConfigurationError
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+
+EXPECTED_EXPERIMENTS = {
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table1",
+}
+
+
+class TestRegistry:
+    def test_every_figure_and_table_registered(self):
+        assert set(list_experiments()) == EXPECTED_EXPERIMENTS
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("FIG1").experiment_id == "fig1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_entries_have_titles_and_configs(self):
+        for experiment_id in list_experiments():
+            entry = get_experiment(experiment_id)
+            assert entry.title
+            assert entry.quick_config() is not None
+            assert entry.paper_config() is not None
+
+    def test_run_experiment_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig3", scale="huge")
+
+    def test_run_analytical_experiment_quick(self):
+        # fig3 and fig4 are purely analytical, hence fast enough for a unit test
+        result = run_experiment("fig3", scale="quick")
+        assert result.experiment_id == "fig3"
+        assert result.rows
+
+    def test_fig4_quick_rows_have_expected_columns(self):
+        result = run_experiment("fig4", scale="quick")
+        assert {"workers", "skew", "d", "d_over_n"} <= set(result.rows[0])
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig13" in output
+        assert "table1" in output
+
+    def test_run_command_analytical(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        output = capsys.readouterr().out
+        assert "head_cardinality" in output
+
+    def test_simulate_command(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--scheme",
+                "PKG",
+                "--workers",
+                "5",
+                "--messages",
+                "2000",
+                "--keys",
+                "100",
+                "--skew",
+                "1.0",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "imbalance" in output
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

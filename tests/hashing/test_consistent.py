@@ -1,0 +1,89 @@
+"""Unit tests for the consistent-hash ring."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hashing.consistent import ConsistentHashRing
+
+
+class TestConsistentHashRing:
+    def test_lookup_returns_member(self):
+        ring = ConsistentHashRing(range(5), seed=1)
+        assert ring.lookup("key") in set(range(5))
+
+    def test_lookup_deterministic(self):
+        ring = ConsistentHashRing(range(5), seed=1)
+        assert ring.lookup("key") == ring.lookup("key")
+
+    def test_empty_ring_rejects_lookup(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(ConfigurationError):
+            ring.lookup("key")
+
+    def test_add_duplicate_worker_rejected(self):
+        ring = ConsistentHashRing([0, 1])
+        with pytest.raises(ConfigurationError):
+            ring.add_worker(1)
+
+    def test_remove_unknown_worker_rejected(self):
+        ring = ConsistentHashRing([0, 1])
+        with pytest.raises(ConfigurationError):
+            ring.remove_worker(7)
+
+    def test_remove_worker_reassigns_only_its_keys(self):
+        ring = ConsistentHashRing(range(10), replicas=64, seed=3)
+        keys = [f"key-{i}" for i in range(2000)]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove_worker(4)
+        after = {key: ring.lookup(key) for key in keys}
+        moved = [key for key in keys if before[key] != after[key]]
+        # only keys previously owned by worker 4 may move
+        assert all(before[key] == 4 for key in moved)
+        assert all(after[key] != 4 for key in keys)
+
+    def test_addition_moves_bounded_fraction(self):
+        ring = ConsistentHashRing(range(10), replicas=64, seed=3)
+        keys = [f"key-{i}" for i in range(2000)]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add_worker(10)
+        after = {key: ring.lookup(key) for key in keys}
+        moved = sum(before[key] != after[key] for key in keys)
+        # expected ~1/11 of the keys move; allow generous slack
+        assert moved < 0.3 * len(keys)
+        assert all(after[key] == 10 for key in keys if before[key] != after[key])
+
+    def test_distribution_roughly_even(self):
+        ring = ConsistentHashRing(range(8), replicas=128, seed=5)
+        counts = Counter(ring.lookup(f"key-{i}") for i in range(8000))
+        assert len(counts) == 8
+        assert min(counts.values()) > 400
+
+    def test_lookup_many_distinct(self):
+        ring = ConsistentHashRing(range(6), seed=2)
+        owners = ring.lookup_many("key", 3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+
+    def test_lookup_many_capped_by_membership(self):
+        ring = ConsistentHashRing(range(2), seed=2)
+        owners = ring.lookup_many("key", 10)
+        assert set(owners) == {0, 1}
+
+    def test_lookup_many_requires_positive_count(self):
+        ring = ConsistentHashRing(range(2))
+        with pytest.raises(ConfigurationError):
+            ring.lookup_many("key", 0)
+
+    def test_len_and_contains(self):
+        ring = ConsistentHashRing(range(3))
+        assert len(ring) == 3
+        assert 2 in ring
+        assert 5 not in ring
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(range(2), replicas=0)

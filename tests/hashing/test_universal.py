@@ -1,0 +1,77 @@
+"""Unit tests for the universal hashing schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hashing.universal import MultiplyShiftHash, TabulationHash
+
+
+class TestMultiplyShiftHash:
+    def test_range(self):
+        hasher = MultiplyShiftHash(num_buckets=13, seed=1)
+        assert all(0 <= hasher(i) < 13 for i in range(1000))
+
+    def test_deterministic(self):
+        one = MultiplyShiftHash(num_buckets=64, seed=5)
+        two = MultiplyShiftHash(num_buckets=64, seed=5)
+        assert [one(i) for i in range(100)] == [two(i) for i in range(100)]
+
+    def test_seed_changes_function(self):
+        one = MultiplyShiftHash(num_buckets=1 << 16, seed=1)
+        two = MultiplyShiftHash(num_buckets=1 << 16, seed=2)
+        assert [one(i) for i in range(200)] != [two(i) for i in range(200)]
+
+    def test_rejects_non_integers(self):
+        hasher = MultiplyShiftHash(num_buckets=8)
+        with pytest.raises(ConfigurationError):
+            hasher("not an int")
+
+    def test_rejects_bad_bucket_count(self):
+        with pytest.raises(ConfigurationError):
+            MultiplyShiftHash(num_buckets=0)
+
+    def test_rough_uniformity(self):
+        hasher = MultiplyShiftHash(num_buckets=10, seed=3)
+        counts = [0] * 10
+        for i in range(20_000):
+            counts[hasher(i * 2654435761)] += 1
+        assert min(counts) > 1000
+
+    def test_single_bucket(self):
+        hasher = MultiplyShiftHash(num_buckets=1, seed=0)
+        assert {hasher(i) for i in range(50)} == {0}
+
+
+class TestTabulationHash:
+    def test_range(self):
+        hasher = TabulationHash(num_buckets=17, seed=1)
+        assert all(0 <= hasher(i) < 17 for i in range(1000))
+
+    def test_deterministic(self):
+        one = TabulationHash(num_buckets=32, seed=9)
+        two = TabulationHash(num_buckets=32, seed=9)
+        assert [one(i) for i in range(100)] == [two(i) for i in range(100)]
+
+    def test_seed_changes_function(self):
+        one = TabulationHash(num_buckets=1 << 20, seed=1)
+        two = TabulationHash(num_buckets=1 << 20, seed=2)
+        assert [one(i) for i in range(50)] != [two(i) for i in range(50)]
+
+    def test_rejects_non_integers(self):
+        hasher = TabulationHash(num_buckets=8)
+        with pytest.raises(ConfigurationError):
+            hasher(3.14)
+
+    def test_rejects_bad_bucket_count(self):
+        with pytest.raises(ConfigurationError):
+            TabulationHash(num_buckets=-1)
+
+    def test_rough_uniformity(self):
+        hasher = TabulationHash(num_buckets=10, seed=3)
+        counts = [0] * 10
+        for i in range(20_000):
+            counts[hasher(i)] += 1
+        assert min(counts) > 1500
+        assert max(counts) < 2500

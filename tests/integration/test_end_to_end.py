@@ -1,0 +1,169 @@
+"""Integration tests: whole pipelines exercising several modules together.
+
+These are the checks that tie the library to the paper's headline claims:
+PKG stops balancing at scale under skew, D-Choices / W-Choices do not, their
+memory overhead stays close to PKG's, and the cluster-level effect is higher
+throughput and lower latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DChoices,
+    PartialKeyGrouping,
+    SpaceSaving,
+    WikipediaLikeWorkload,
+    ZipfWorkload,
+    run_cluster_experiment,
+    run_simulation,
+)
+from repro.analysis.bounds import pkg_breaks_down, theta_range
+from repro.analysis.choices import find_optimal_choices
+from repro.analysis.head import head_cardinality
+from repro.analysis.zipf import ZipfDistribution
+
+
+class TestHeadlineClaimImbalance:
+    """Figure 1 / Figure 10: two choices are not enough at scale."""
+
+    @pytest.fixture(scope="class")
+    def at_scale(self):
+        results = {}
+        for scheme in ("PKG", "D-C", "W-C"):
+            workload = ZipfWorkload(exponent=1.6, num_keys=5000, num_messages=150_000, seed=11)
+            results[scheme] = run_simulation(
+                workload, scheme=scheme, num_workers=60, num_sources=5, seed=2
+            )
+        return results
+
+    def test_pkg_breaks_down_at_scale(self, at_scale):
+        # p1 at z=1.6 is ~0.28 which exceeds 2/60, so PKG must show imbalance
+        p1 = ZipfDistribution(1.6, 5000).p1
+        assert pkg_breaks_down(p1, 60)
+        assert at_scale["PKG"].final_imbalance > 0.01
+
+    def test_dchoices_and_wchoices_balance_at_scale(self, at_scale):
+        assert at_scale["D-C"].final_imbalance < 0.01
+        assert at_scale["W-C"].final_imbalance < 0.01
+
+    def test_improvement_is_order_of_magnitude(self, at_scale):
+        assert at_scale["PKG"].final_imbalance > 5 * at_scale["D-C"].final_imbalance
+
+    def test_memory_overhead_moderate(self, at_scale):
+        # D-C pays some replication for the head, but nowhere near n per key.
+        pkg_memory = at_scale["PKG"].memory_entries
+        dchoices_memory = at_scale["D-C"].memory_entries
+        assert dchoices_memory < 2.0 * pkg_memory
+
+
+class TestSmallScaleEquivalence:
+    """At small scale (n=5) every scheme balances fine (Figure 11 left)."""
+
+    def test_all_schemes_low_imbalance(self):
+        for scheme in ("PKG", "D-C", "W-C"):
+            workload = WikipediaLikeWorkload(num_messages=60_000, num_body_keys=10_000, seed=3)
+            result = run_simulation(workload, scheme=scheme, num_workers=5, seed=1)
+            assert result.final_imbalance < 0.02
+
+
+class TestSketchDrivesPartitioner:
+    """The D-Choices pipeline: sketch -> head -> solver -> routing."""
+
+    def test_online_d_close_to_analytical_d(self):
+        exponent, num_keys, num_workers = 1.6, 5000, 50
+        workload = ZipfWorkload(exponent, num_keys, 100_000, seed=13)
+        scheme = DChoices(num_workers=num_workers, seed=5)
+        for key in workload:
+            scheme.route(key)
+
+        distribution = ZipfDistribution(exponent, num_keys)
+        theta = theta_range(num_workers).default
+        head_size = head_cardinality(distribution, theta)
+        analytical = find_optimal_choices(
+            distribution.probabilities[:head_size],
+            distribution.tail_mass(head_size),
+            num_workers,
+        )
+        online = scheme.current_num_choices()
+        assert online >= 2
+        # the sketch-driven d is within a factor of two of the exact-
+        # distribution d (it sees estimated, noisier frequencies)
+        assert online <= 2 * max(2, analytical.num_choices)
+        assert online >= analytical.num_choices // 2
+
+    def test_space_saving_head_matches_true_head(self):
+        workload = list(ZipfWorkload(1.8, 2000, 50_000, seed=17))
+        theta = 0.01
+        sketch = SpaceSaving.for_threshold(theta, slack=2.0)
+        sketch.add_all(workload)
+        from collections import Counter
+
+        exact = Counter(workload)
+        true_head = {
+            key for key, count in exact.items() if count >= theta * len(workload)
+        }
+        assert true_head <= set(sketch.heavy_hitters(theta))
+
+
+class TestClusterEndToEnd:
+    """Figures 13/14 on a reduced cluster: ordering of throughput/latency."""
+
+    @pytest.fixture(scope="class")
+    def cluster_results(self):
+        results = {}
+        for scheme in ("KG", "PKG", "D-C", "SG"):
+            workload = ZipfWorkload(exponent=2.0, num_keys=2000, num_messages=30_000, seed=19)
+            results[scheme] = run_cluster_experiment(
+                workload,
+                scheme,
+                num_sources=16,
+                num_workers=32,
+                service_time_ms=1.0,
+                seed=3,
+            )
+        return results
+
+    def test_throughput_ordering(self, cluster_results):
+        assert (
+            cluster_results["KG"].throughput_per_second
+            <= cluster_results["SG"].throughput_per_second
+        )
+        assert (
+            cluster_results["D-C"].throughput_per_second
+            >= 0.8 * cluster_results["SG"].throughput_per_second
+        )
+
+    def test_latency_ordering(self, cluster_results):
+        assert (
+            cluster_results["D-C"].latency.p99
+            <= cluster_results["KG"].latency.p99 + 1e-9
+        )
+        assert (
+            cluster_results["SG"].latency.p99
+            <= cluster_results["KG"].latency.p99 + 1e-9
+        )
+
+    def test_kg_utilization_concentrated(self, cluster_results):
+        utilization = cluster_results["KG"].worker_utilization
+        # under key grouping one worker does far more work than the median
+        assert max(utilization) > 3 * sorted(utilization)[len(utilization) // 2]
+
+
+class TestPartialKeyGroupingRegression:
+    """PKG behaves exactly as the ICDE 2015 baseline it reimplements."""
+
+    def test_two_workers_per_key_even_across_sources(self):
+        workload = list(ZipfWorkload(1.2, 200, 20_000, seed=23))
+        sources = [PartialKeyGrouping(num_workers=20, seed=9) for _ in range(4)]
+        destinations: dict[object, set[int]] = {}
+        for index, key in enumerate(workload):
+            worker = sources[index % 4].route(key)
+            destinations.setdefault(key, set()).add(worker)
+        assert all(len(workers) <= 2 for workers in destinations.values())
+
+    def test_balances_mild_skew_at_small_scale(self):
+        workload = ZipfWorkload(0.8, 2000, 60_000, seed=29)
+        result = run_simulation(workload, scheme="PKG", num_workers=5, seed=1)
+        assert result.final_imbalance < 0.01

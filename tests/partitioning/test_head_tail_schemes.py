@@ -1,0 +1,183 @@
+"""Unit tests for the head/tail-split schemes: D-C, W-C, RR and FIXED-D."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.partitioning.d_choices import DChoices
+from repro.partitioning.fixed_d import FixedDHead
+from repro.partitioning.round_robin_head import RoundRobinHead
+from repro.partitioning.w_choices import WChoices
+from repro.sketches.misra_gries import MisraGries
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+def _route_all(scheme, keys):
+    for key in keys:
+        scheme.route(key)
+
+
+class TestHeadTailCommon:
+    @pytest.mark.parametrize("cls", [DChoices, WChoices, RoundRobinHead])
+    def test_default_theta_is_paper_default(self, cls):
+        scheme = cls(num_workers=20)
+        assert scheme.theta == pytest.approx(1.0 / (5 * 20))
+
+    @pytest.mark.parametrize("cls", [DChoices, WChoices, RoundRobinHead])
+    def test_rejects_bad_theta(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(num_workers=10, theta=0.0)
+        with pytest.raises(ConfigurationError):
+            cls(num_workers=10, theta=1.5)
+
+    @pytest.mark.parametrize("cls", [DChoices, WChoices, RoundRobinHead])
+    def test_rejects_negative_warmup(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(num_workers=10, warmup_messages=-1)
+
+    def test_warmup_disables_head_path(self):
+        scheme = WChoices(num_workers=4, warmup_messages=1000)
+        for _ in range(100):
+            decision = scheme.route_with_decision("hot")
+            assert decision.is_head is False
+
+    def test_head_membership_tracks_sketch(self):
+        scheme = WChoices(num_workers=4, warmup_messages=0)
+        for _ in range(200):
+            scheme.route("hot")
+        assert scheme.is_head("hot")
+        assert not scheme.is_head("cold")
+        assert "hot" in scheme.current_head()
+
+    def test_tail_keys_use_two_candidates(self):
+        scheme = WChoices(num_workers=32, warmup_messages=0)
+        # interleave one hot key with many cold keys
+        for index in range(2000):
+            scheme.route("hot")
+            scheme.route(f"cold-{index}")
+        cold_decision = scheme.route_with_decision("cold-1")
+        assert cold_decision.is_head is False
+        assert len(cold_decision.candidates) == 2
+
+    def test_injected_sketch_is_used(self):
+        sketch = MisraGries(capacity=64)
+        scheme = WChoices(num_workers=8, sketch=sketch, warmup_messages=0)
+        for _ in range(50):
+            scheme.route("hot")
+        assert sketch.total == 50
+
+    def test_reset_restores_fresh_state(self):
+        scheme = DChoices(num_workers=8, warmup_messages=0)
+        for _ in range(500):
+            scheme.route("hot")
+        scheme.reset()
+        assert scheme.messages_routed == 0
+        assert scheme.sketch.total == 0
+        assert scheme.current_num_choices() == 2
+
+
+class TestWChoices:
+    def test_hot_key_spread_over_all_workers(self):
+        scheme = WChoices(num_workers=8, warmup_messages=0)
+        workers = set()
+        for _ in range(800):
+            workers.add(scheme.route("hot"))
+        assert workers == set(range(8))
+
+    def test_balances_extreme_skew(self):
+        workload = ZipfWorkload(2.0, 1000, 30_000, seed=3)
+        scheme = WChoices(num_workers=20, warmup_messages=100)
+        _route_all(scheme, workload)
+        loads = scheme.local_loads
+        normalized = [load / sum(loads) for load in loads]
+        imbalance = max(normalized) - 1 / 20
+        assert imbalance < 0.01
+
+
+class TestRoundRobinHead:
+    def test_head_cycles_through_workers(self):
+        scheme = RoundRobinHead(num_workers=4, warmup_messages=0)
+        destinations = [scheme.route("hot") for _ in range(8)]
+        assert destinations[:4] == [0, 1, 2, 3]
+        assert destinations[4:] == [0, 1, 2, 3]
+
+    def test_reset_restarts_cycle(self):
+        scheme = RoundRobinHead(num_workers=4, warmup_messages=0)
+        scheme.route("hot")
+        scheme.reset()
+        assert scheme.route("hot") == 0
+
+    def test_head_balanced_even_if_load_oblivious(self):
+        workload = ZipfWorkload(2.0, 500, 20_000, seed=5)
+        scheme = RoundRobinHead(num_workers=10, warmup_messages=100)
+        _route_all(scheme, workload)
+        loads = scheme.local_loads
+        assert max(loads) / sum(loads) < 0.25
+
+
+class TestFixedDHead:
+    def test_rejects_small_d(self):
+        with pytest.raises(ConfigurationError):
+            FixedDHead(num_workers=8, num_choices=1)
+
+    def test_caps_d_at_n(self):
+        scheme = FixedDHead(num_workers=4, num_choices=10)
+        assert scheme.num_choices == 4
+
+    def test_hot_key_confined_to_d_workers(self):
+        scheme = FixedDHead(num_workers=32, num_choices=3, warmup_messages=0)
+        workers = {scheme.route("hot") for _ in range(500)}
+        assert len(workers) <= 3
+
+    def test_head_decision_flag(self):
+        scheme = FixedDHead(num_workers=8, num_choices=4, warmup_messages=0)
+        scheme.route("hot")
+        decision = scheme.route_with_decision("hot")
+        assert decision.is_head is True
+        assert len(decision.candidates) == 4
+
+
+class TestDChoices:
+    def test_rejects_bad_epsilon_and_interval(self):
+        with pytest.raises(ConfigurationError):
+            DChoices(num_workers=8, epsilon=-1.0)
+        with pytest.raises(ConfigurationError):
+            DChoices(num_workers=8, recompute_interval=0)
+
+    def test_d_grows_with_hot_key_dominance(self):
+        scheme = DChoices(num_workers=20, warmup_messages=0)
+        for _ in range(5000):
+            scheme.route("hot")
+        # a key carrying ~100% of the load needs (almost) all workers
+        assert scheme.current_num_choices() >= 10
+
+    def test_solution_cost_reported(self):
+        scheme = DChoices(num_workers=20, warmup_messages=0)
+        for _ in range(2000):
+            scheme.route("hot")
+        solution = scheme.current_solution()
+        assert solution.cost == solution.num_choices * solution.head_cardinality
+
+    def test_mild_skew_keeps_small_d(self):
+        workload = ZipfWorkload(0.5, 1000, 20_000, seed=1)
+        scheme = DChoices(num_workers=10, warmup_messages=100)
+        _route_all(scheme, workload)
+        assert scheme.current_num_choices() <= 4
+
+    def test_balances_extreme_skew_better_than_pkg(self):
+        from repro.partitioning.partial_key_grouping import PartialKeyGrouping
+
+        workload = list(ZipfWorkload(2.0, 1000, 30_000, seed=9))
+        dchoices = DChoices(num_workers=20, warmup_messages=100)
+        pkg = PartialKeyGrouping(num_workers=20, seed=0)
+        for key in workload:
+            dchoices.route(key)
+            pkg.route(key)
+        assert max(dchoices.local_loads) < max(pkg.local_loads)
+
+    def test_head_keys_marked_in_decisions(self):
+        scheme = DChoices(num_workers=10, warmup_messages=0)
+        for _ in range(1000):
+            scheme.route("hot")
+        assert scheme.route_with_decision("hot").is_head is True

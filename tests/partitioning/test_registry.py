@@ -1,0 +1,71 @@
+"""Unit tests for the partitioner registry/factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.partitioning.d_choices import DChoices
+from repro.partitioning.fixed_d import FixedDHead
+from repro.partitioning.registry import (
+    available_schemes,
+    canonical_name,
+    create_partitioner,
+    head_aware_schemes,
+)
+
+
+class TestCanonicalName:
+    @pytest.mark.parametrize(
+        ("alias", "expected"),
+        [
+            ("pkg", "PKG"),
+            ("PKG", "PKG"),
+            ("dchoices", "D-C"),
+            ("d_choices", "D-C"),
+            ("DC", "D-C"),
+            ("w-c", "W-C"),
+            ("wchoices", "W-C"),
+            ("shuffle", "SG"),
+            ("key_grouping", "KG"),
+            ("round_robin", "RR"),
+            ("greedy", "GREEDY-D"),
+            ("fixed_d", "FIXED-D"),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert canonical_name(alias) == expected
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_name("does-not-exist")
+
+    def test_whitespace_tolerated(self):
+        assert canonical_name("  pkg ") == "PKG"
+
+
+class TestCreatePartitioner:
+    def test_all_registered_schemes_instantiable(self):
+        for name in available_schemes():
+            kwargs = {"num_choices": 3} if name in ("GREEDY-D", "FIXED-D") else {}
+            scheme = create_partitioner(name, num_workers=8, **kwargs)
+            assert scheme.num_workers == 8
+            assert scheme.name == name
+
+    def test_kwargs_forwarded(self):
+        scheme = create_partitioner("D-C", num_workers=10, theta=0.05, epsilon=1e-3)
+        assert isinstance(scheme, DChoices)
+        assert scheme.theta == 0.05
+        assert scheme.epsilon == 1e-3
+
+    def test_fixed_d_requires_choice_count(self):
+        scheme = create_partitioner("FIXED-D", num_workers=10, num_choices=4)
+        assert isinstance(scheme, FixedDHead)
+        assert scheme.num_choices == 4
+
+    def test_head_aware_schemes_subset(self):
+        assert set(head_aware_schemes()) <= set(available_schemes())
+
+    def test_routes_after_creation(self):
+        scheme = create_partitioner("pkg", num_workers=4, seed=1)
+        assert 0 <= scheme.route("key") < 4

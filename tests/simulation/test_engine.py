@@ -1,0 +1,142 @@
+"""Unit tests for the partitioning simulation engine and runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.runner import results_table, run_simulation, sweep
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        config = SimulationConfig(scheme="PKG", num_workers=10)
+        assert config.num_sources == 5
+        assert config.track_interval == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(scheme="PKG", num_workers=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(scheme="PKG", num_workers=5, num_sources=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(scheme="PKG", num_workers=5, track_interval=-1)
+
+
+class TestSimulationEngine:
+    def test_every_message_accounted(self):
+        config = SimulationConfig(scheme="PKG", num_workers=4, num_sources=2)
+        engine = SimulationEngine(config)
+        result = engine.run(["a", "b", "c"] * 100)
+        assert result.num_messages == 300
+        assert sum(result.worker_loads) == 300
+
+    def test_unknown_scheme_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            SimulationEngine(SimulationConfig(scheme="BOGUS", num_workers=4))
+
+    def test_empty_workload_rejected(self):
+        engine = SimulationEngine(SimulationConfig(scheme="PKG", num_workers=4))
+        with pytest.raises(ConfigurationError):
+            engine.run([])
+
+    def test_sources_count_respected(self):
+        config = SimulationConfig(scheme="PKG", num_workers=4, num_sources=3)
+        engine = SimulationEngine(config)
+        engine.run(["k"] * 30)
+        assert len(engine.sources) == 3
+        assert all(source.messages_routed == 10 for source in engine.sources)
+
+    def test_pkg_sources_share_hash_seed(self):
+        config = SimulationConfig(scheme="PKG", num_workers=16, num_sources=4, seed=3)
+        engine = SimulationEngine(config)
+        engine.run(["the-key"] * 400)
+        # a single key may reach at most two workers, regardless of sources
+        used = [worker for worker, load in enumerate(engine.tracker.loads) if load]
+        assert len(used) <= 2
+
+    def test_shuffle_sources_offset(self):
+        config = SimulationConfig(scheme="SG", num_workers=4, num_sources=4, seed=0)
+        engine = SimulationEngine(config)
+        result = engine.run(["x"] * 400)
+        assert result.final_imbalance == pytest.approx(0.0, abs=1e-9)
+
+    def test_time_series_tracking(self):
+        config = SimulationConfig(
+            scheme="PKG", num_workers=4, num_sources=2, track_interval=50
+        )
+        engine = SimulationEngine(config)
+        result = engine.run([f"k{i % 17}" for i in range(200)])
+        assert result.time_series is not None
+        assert result.time_series.times[0] == 50
+        assert result.time_series.times[-1] == 200
+
+    def test_head_tail_tracking(self):
+        config = SimulationConfig(
+            scheme="W-C",
+            num_workers=4,
+            num_sources=2,
+            track_head_tail=True,
+            scheme_options={"warmup_messages": 0},
+        )
+        engine = SimulationEngine(config)
+        result = engine.run(["hot"] * 500)
+        assert result.head_loads is not None
+        assert sum(result.head_loads) > 0
+        assert result.head_key_count == 1
+
+    def test_memory_entries_counted(self):
+        config = SimulationConfig(scheme="KG", num_workers=4, num_sources=1)
+        engine = SimulationEngine(config)
+        result = engine.run([f"key-{i}" for i in range(100)])
+        # key grouping stores every key on exactly one worker
+        assert result.memory_entries == 100
+
+
+class TestRunner:
+    def test_run_simulation_workload_object(self):
+        workload = ZipfWorkload(1.5, 100, 2000, seed=1)
+        result = run_simulation(workload, scheme="D-C", num_workers=10)
+        assert result.scheme == "D-C"
+        assert result.num_messages == 2000
+
+    def test_run_simulation_plain_iterable(self):
+        result = run_simulation(["a", "b"] * 50, scheme="SG", num_workers=2)
+        assert result.num_messages == 100
+
+    def test_summary_keys(self):
+        result = run_simulation(["a", "b"] * 50, scheme="SG", num_workers=2)
+        summary = result.summary()
+        assert {"scheme", "workers", "imbalance", "memory_entries"} <= set(summary)
+
+    def test_sweep_produces_all_combinations(self):
+        results = sweep(
+            lambda: ZipfWorkload(1.5, 100, 1000, seed=1),
+            schemes=("PKG", "W-C"),
+            worker_counts=(2, 4),
+        )
+        assert len(results) == 4
+        assert {(r.scheme, r.num_workers) for r in results} == {
+            ("PKG", 2),
+            ("PKG", 4),
+            ("W-C", 2),
+            ("W-C", 4),
+        }
+
+    def test_results_table(self):
+        results = sweep(
+            lambda: ZipfWorkload(1.5, 100, 500, seed=1),
+            schemes=("PKG",),
+            worker_counts=(2,),
+        )
+        table = results_table(results)
+        assert len(table) == 1
+        assert table[0]["scheme"] == "PKG"
+
+    def test_normalized_loads_sum_to_one(self):
+        result = run_simulation(["a", "b", "c"] * 100, scheme="PKG", num_workers=5)
+        assert sum(result.normalized_loads) == pytest.approx(1.0)
+        assert result.max_load >= 1 / 5

@@ -1,0 +1,95 @@
+"""Unit tests for distributed heavy-hitter tracking."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SketchError
+from repro.sketches.distributed import DistributedHeavyHitters, merge_summaries
+from repro.sketches.space_saving import SpaceSaving
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+class TestMergeSummaries:
+    def test_empty_collection_rejected(self):
+        with pytest.raises(SketchError):
+            merge_summaries([])
+
+    def test_single_summary_returned_as_is(self):
+        sketch = SpaceSaving(capacity=4)
+        sketch.add_all("aab")
+        assert merge_summaries([sketch]) is sketch
+
+    def test_merge_many_is_associative_on_totals(self):
+        sketches = []
+        for seed in range(4):
+            sketch = SpaceSaving(capacity=32)
+            sketch.add_all(ZipfWorkload(1.5, 200, 2000, seed=seed))
+            sketches.append(sketch)
+        merged = merge_summaries(sketches)
+        assert merged.total == sum(sketch.total for sketch in sketches)
+
+    def test_merge_never_underestimates_combined_stream(self):
+        streams = [list(ZipfWorkload(1.5, 200, 3000, seed=seed)) for seed in range(3)]
+        sketches = []
+        for stream in streams:
+            sketch = SpaceSaving(capacity=40)
+            sketch.add_all(stream)
+            sketches.append(sketch)
+        merged = merge_summaries(sketches)
+        exact = Counter(key for stream in streams for key in stream)
+        for entry in merged.entries():
+            assert entry.count >= exact[entry.key]
+
+
+class TestDistributedHeavyHitters:
+    def test_rejects_bad_source_count(self):
+        with pytest.raises(ConfigurationError):
+            DistributedHeavyHitters(num_sources=0, capacity=8)
+
+    def test_add_checks_source_range(self):
+        tracker = DistributedHeavyHitters(num_sources=2, capacity=8)
+        with pytest.raises(ConfigurationError):
+            tracker.add(source=2, key="a")
+
+    def test_local_and_merged_views(self):
+        tracker = DistributedHeavyHitters(num_sources=2, capacity=16)
+        for index in range(100):
+            tracker.add(source=index % 2, key="hot")
+            tracker.add(source=index % 2, key=f"cold-{index}")
+        assert "hot" in tracker.local_heavy_hitters(0, 0.3)
+        assert "hot" in tracker.local_heavy_hitters(1, 0.3)
+        assert "hot" in tracker.merged_heavy_hitters(0.3)
+
+    def test_total_sums_sources(self):
+        tracker = DistributedHeavyHitters(num_sources=3, capacity=8)
+        tracker.add_stream((i % 3, f"k{i}") for i in range(30))
+        assert tracker.total() == 30
+
+    def test_disagreement_zero_when_all_sources_see_hot_key(self):
+        tracker = DistributedHeavyHitters(num_sources=2, capacity=16)
+        for index in range(200):
+            tracker.add(source=index % 2, key="hot")
+        assert tracker.disagreement(0.5) == 0.0
+
+    def test_disagreement_zero_without_heavy_hitters(self):
+        tracker = DistributedHeavyHitters(num_sources=2, capacity=16)
+        assert tracker.disagreement(0.5) == 0.0
+
+    def test_disagreement_detects_skewed_routing(self):
+        # All "hot" traffic goes to source 0; source 1 only sees noise, so it
+        # misses the global heavy hitter.
+        tracker = DistributedHeavyHitters(num_sources=2, capacity=16)
+        for _ in range(100):
+            tracker.add(source=0, key="hot")
+        for index in range(100):
+            tracker.add(source=1, key=f"noise-{index % 20}")
+        assert tracker.disagreement(0.25) > 0.0
+
+    def test_sketch_accessor_checks_range(self):
+        tracker = DistributedHeavyHitters(num_sources=1, capacity=4)
+        assert tracker.sketch(0).capacity == 4
+        with pytest.raises(ConfigurationError):
+            tracker.sketch(1)

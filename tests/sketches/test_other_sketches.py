@@ -1,0 +1,209 @@
+"""Unit tests for MisraGries, LossyCounting and CountMinSketch."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SketchError
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.lossy_counting import LossyCounting
+from repro.sketches.misra_gries import MisraGries
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+def _stream(exponent=1.5, keys=500, messages=20_000, seed=3):
+    return list(ZipfWorkload(exponent, keys, messages, seed=seed))
+
+
+class TestMisraGries:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MisraGries(capacity=0)
+
+    def test_exact_under_capacity(self):
+        sketch = MisraGries(capacity=10)
+        sketch.add_all(["a"] * 4 + ["b"] * 2)
+        assert sketch.estimate("a") == 4
+        assert sketch.estimate("b") == 2
+
+    def test_never_overestimates(self):
+        stream = _stream()
+        sketch = MisraGries(capacity=50)
+        sketch.add_all(stream)
+        exact = Counter(stream)
+        for entry in sketch.entries():
+            assert entry.count <= exact[entry.key]
+
+    def test_underestimation_bounded(self):
+        stream = _stream()
+        capacity = 64
+        sketch = MisraGries(capacity=capacity)
+        sketch.add_all(stream)
+        exact = Counter(stream)
+        bound = len(stream) / (capacity + 1)
+        for key, count in exact.most_common(10):
+            assert exact[key] - sketch.estimate(key) <= bound + 1e-9
+
+    def test_heavy_hitters_no_false_negatives(self):
+        stream = _stream(exponent=1.8, seed=9)
+        threshold = 0.02
+        sketch = MisraGries(capacity=int(2 / threshold))
+        sketch.add_all(stream)
+        exact = Counter(stream)
+        true_heavy = {
+            key for key, count in exact.items() if count >= threshold * len(stream)
+        }
+        assert true_heavy <= set(sketch.heavy_hitters(threshold))
+
+    def test_add_with_count_matches_repeated_add(self):
+        bulk = MisraGries(capacity=3)
+        single = MisraGries(capacity=3)
+        bulk.add("a", count=5)
+        for _ in range(5):
+            single.add("a")
+        assert bulk.estimate("a") == single.estimate("a")
+
+    def test_add_rejects_bad_count(self):
+        with pytest.raises(SketchError):
+            MisraGries(capacity=2).add("a", count=-1)
+
+    def test_capacity_respected(self):
+        sketch = MisraGries(capacity=5)
+        sketch.add_all(str(i) for i in range(200))
+        assert len(sketch) <= 5
+
+    def test_merge_totals_and_heavy_keys(self):
+        left = MisraGries(capacity=10)
+        right = MisraGries(capacity=10)
+        left.add_all(["hot"] * 50 + [f"l{i}" for i in range(20)])
+        right.add_all(["hot"] * 40 + [f"r{i}" for i in range(20)])
+        merged = left.merge(right)
+        assert merged.total == left.total + right.total
+        assert "hot" in merged.heavy_hitters(0.3)
+
+    def test_merge_rejects_other_types(self):
+        with pytest.raises(SketchError):
+            MisraGries(capacity=2).merge("nope")  # type: ignore[arg-type]
+
+    def test_empty_heavy_hitters(self):
+        assert MisraGries(capacity=2).heavy_hitters(0.5) == {}
+
+
+class TestLossyCounting:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            LossyCounting(epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            LossyCounting(epsilon=1.0)
+
+    def test_exact_for_short_streams(self):
+        sketch = LossyCounting(epsilon=0.1)
+        sketch.add_all(["a", "a", "b"])
+        assert sketch.estimate("a") == 2
+        assert sketch.estimate("b") == 1
+
+    def test_never_overestimates(self):
+        stream = _stream()
+        sketch = LossyCounting(epsilon=0.01)
+        sketch.add_all(stream)
+        exact = Counter(stream)
+        for entry in sketch.entries():
+            assert entry.count <= exact[entry.key]
+
+    def test_underestimation_bounded_by_epsilon(self):
+        stream = _stream()
+        epsilon = 0.01
+        sketch = LossyCounting(epsilon=epsilon)
+        sketch.add_all(stream)
+        exact = Counter(stream)
+        for key, count in exact.most_common(10):
+            assert count - sketch.estimate(key) <= epsilon * len(stream) + 1
+
+    def test_heavy_hitters_no_false_negatives(self):
+        stream = _stream(exponent=1.8, seed=11)
+        threshold = 0.02
+        sketch = LossyCounting(epsilon=threshold / 2)
+        sketch.add_all(stream)
+        exact = Counter(stream)
+        true_heavy = {
+            key for key, count in exact.items() if count >= threshold * len(stream)
+        }
+        assert true_heavy <= set(sketch.heavy_hitters(threshold))
+
+    def test_pruning_keeps_memory_small(self):
+        sketch = LossyCounting(epsilon=0.01)
+        sketch.add_all(str(i % 5000) for i in range(50_000))
+        # uniform stream: almost everything should be pruned regularly
+        assert len(sketch) < 5000
+
+    def test_add_rejects_bad_count(self):
+        with pytest.raises(SketchError):
+            LossyCounting(epsilon=0.1).add("a", count=0)
+
+    def test_total(self):
+        sketch = LossyCounting(epsilon=0.2)
+        sketch.add_all("abcabc")
+        assert sketch.total == 6
+
+
+class TestCountMinSketch:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=0)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=4, depth=0)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=4, top_k=0)
+
+    def test_for_error_sizes(self):
+        sketch = CountMinSketch.for_error(epsilon=0.01, delta=0.01)
+        assert sketch.width >= 100
+        assert sketch.depth >= 2
+
+    def test_for_error_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch.for_error(epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch.for_error(epsilon=0.1, delta=1.5)
+
+    def test_never_underestimates(self):
+        stream = _stream()
+        sketch = CountMinSketch(width=256, depth=4)
+        sketch.add_all(stream)
+        exact = Counter(stream)
+        for key, count in exact.most_common(50):
+            assert sketch.estimate(key) >= count
+
+    def test_overestimation_reasonable(self):
+        stream = _stream()
+        sketch = CountMinSketch(width=1024, depth=5)
+        sketch.add_all(stream)
+        exact = Counter(stream)
+        for key, count in exact.most_common(10):
+            assert sketch.estimate(key) - count <= 3 * len(stream) / 1024
+
+    def test_heavy_hitters_from_candidates(self):
+        stream = _stream(exponent=2.0, seed=13)
+        sketch = CountMinSketch(width=512, depth=4, top_k=32)
+        sketch.add_all(stream)
+        exact_top = Counter(stream).most_common(1)[0][0]
+        assert exact_top in sketch.heavy_hitters(0.2)
+
+    def test_top_returns_sorted_candidates(self):
+        sketch = CountMinSketch(width=64, depth=3, top_k=8)
+        sketch.add_all(["a"] * 10 + ["b"] * 5 + ["c"])
+        top = sketch.top(2)
+        assert top[0].key == "a"
+        assert top[0].count >= top[1].count
+
+    def test_add_rejects_bad_count(self):
+        with pytest.raises(SketchError):
+            CountMinSketch(width=8).add("a", count=0)
+
+    def test_total(self):
+        sketch = CountMinSketch(width=8)
+        sketch.add("a", count=3)
+        sketch.add("b")
+        assert sketch.total == 4

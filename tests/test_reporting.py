@@ -1,0 +1,136 @@
+"""Unit tests for the reporting utilities (export + ASCII charts)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.partitioning.consistent_grouping import ConsistentGrouping
+from repro.reporting.ascii_chart import ascii_bar_chart, ascii_series_chart
+from repro.reporting.export import result_to_csv, result_to_json, write_result
+
+
+def _sample_result() -> ExperimentResult:
+    result = ExperimentResult(experiment_id="figX", title="demo")
+    result.parameters = {"workers": (5, 10)}
+    result.rows = [
+        {"scheme": "PKG", "workers": 5, "imbalance": 0.1},
+        {"scheme": "D-C", "workers": 5, "imbalance": 0.001},
+    ]
+    result.notes = ["just a demo"]
+    return result
+
+
+class TestExport:
+    def test_csv_has_header_and_rows(self):
+        text = result_to_csv(_sample_result())
+        lines = text.strip().splitlines()
+        assert lines[0] == "scheme,workers,imbalance"
+        assert len(lines) == 3
+        assert lines[1].startswith("PKG")
+
+    def test_json_roundtrip(self):
+        document = json.loads(result_to_json(_sample_result()))
+        assert document["experiment_id"] == "figX"
+        assert document["rows"][1]["scheme"] == "D-C"
+        assert document["parameters"]["workers"] == [5, 10]
+        assert document["notes"] == ["just a demo"]
+
+    def test_json_stringifies_unknown_types(self):
+        result = _sample_result()
+        result.rows.append({"scheme": "W-C", "extra": object()})
+        document = json.loads(result_to_json(result))
+        assert isinstance(document["rows"][2]["extra"], str)
+
+    def test_write_result_csv(self, tmp_path):
+        path = write_result(_sample_result(), tmp_path / "out.csv")
+        with open(path, encoding="utf-8") as handle:
+            assert handle.readline().startswith("scheme")
+
+    def test_write_result_json(self, tmp_path):
+        path = write_result(_sample_result(), tmp_path / "out.json")
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle)["title"] == "demo"
+
+    def test_write_result_unknown_extension(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_result(_sample_result(), tmp_path / "out.txt")
+
+
+class TestAsciiBarChart:
+    def test_renders_all_labels(self):
+        chart = ascii_bar_chart({"KG": 10.0, "SG": 40.0})
+        assert "KG" in chart and "SG" in chart
+        assert chart.count("\n") == 1
+
+    def test_bar_lengths_proportional(self):
+        chart = ascii_bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        small_line, big_line = chart.splitlines()
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_zero_values(self):
+        chart = ascii_bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart
+
+    def test_rejects_empty_and_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart({"a": 1.0}, width=0)
+
+
+class TestAsciiSeriesChart:
+    def test_renders_legend_and_ranges(self):
+        chart = ascii_series_chart(
+            {"PKG": {5: 0.1, 50: 0.3}, "D-C": {5: 0.001, 50: 0.002}},
+            log_y=True,
+        )
+        assert "legend:" in chart
+        assert "PKG" in chart and "D-C" in chart
+        assert "log(y)" in chart
+
+    def test_linear_axis_label(self):
+        chart = ascii_series_chart({"only": {0: 1.0, 1: 2.0}})
+        assert "y: [" in chart
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ascii_series_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_series_chart({"empty": {}})
+        with pytest.raises(ConfigurationError):
+            ascii_series_chart({"a": {0: 1.0}}, height=1)
+
+
+class TestConsistentGrouping:
+    def test_sticky_routing(self):
+        scheme = ConsistentGrouping(num_workers=8, seed=3)
+        assert scheme.route("user-1") == scheme.route("user-1")
+
+    def test_routes_in_range(self):
+        scheme = ConsistentGrouping(num_workers=8, seed=3)
+        assert all(0 <= scheme.route(f"k{i}") < 8 for i in range(100))
+
+    def test_remove_and_restore_worker(self):
+        scheme = ConsistentGrouping(num_workers=4, seed=1)
+        before = scheme.route_with_decision("key").worker
+        scheme.remove_worker(before)
+        after = scheme.route_with_decision("key").worker
+        assert after != before
+        scheme.restore_worker(before)
+        assert scheme.route_with_decision("key").worker == before
+
+    def test_remove_worker_out_of_range(self):
+        scheme = ConsistentGrouping(num_workers=4)
+        with pytest.raises(ConfigurationError):
+            scheme.remove_worker(4)
+
+    def test_available_via_registry(self):
+        from repro.partitioning.registry import create_partitioner
+
+        scheme = create_partitioner("consistent", num_workers=6, seed=2)
+        assert isinstance(scheme, ConsistentGrouping)
+        assert scheme.name == "CH"
