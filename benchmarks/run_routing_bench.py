@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Measure scalar vs batched routing throughput and record the trajectory.
+
+Runs the ``bench_micro_routing`` workload (Zipf 1.4, 50 workers, 20k
+messages) through every scheme twice — per-message ``route()`` and chunked
+``route_batch()`` — and writes the numbers to ``BENCH_routing.json`` at the
+repository root so future PRs have a perf baseline to regress against::
+
+    PYTHONPATH=src python benchmarks/run_routing_bench.py
+
+The JSON schema is one entry per scheme::
+
+    {"PKG": {"scalar_msgs_per_sec": ..., "batch_msgs_per_sec": ...,
+             "batch_speedup": ...}, ..., "_meta": {...}}
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.partitioning.registry import create_partitioner
+from repro.workloads.zipf_stream import ZipfWorkload
+
+NUM_WORKERS = 50
+NUM_MESSAGES = 20_000
+BATCH_SIZE = 2_048
+ROUNDS = 5
+SCHEMES = ("KG", "SG", "PKG", "D-C", "W-C", "RR")
+
+
+def _best_time(function) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    keys = list(ZipfWorkload(1.4, 10_000, NUM_MESSAGES, seed=9))
+    results: dict[str, object] = {}
+    print(f"{'scheme':8s} {'scalar msg/s':>14s} {'batch msg/s':>14s} {'speedup':>8s}")
+    for scheme in SCHEMES:
+
+        def scalar() -> None:
+            partitioner = create_partitioner(scheme, num_workers=NUM_WORKERS, seed=1)
+            route = partitioner.route
+            for key in keys:
+                route(key)
+
+        def batched() -> None:
+            partitioner = create_partitioner(scheme, num_workers=NUM_WORKERS, seed=1)
+            for start in range(0, len(keys), BATCH_SIZE):
+                partitioner.route_batch(keys[start : start + BATCH_SIZE])
+
+        scalar_rate = NUM_MESSAGES / _best_time(scalar)
+        batch_rate = NUM_MESSAGES / _best_time(batched)
+        results[scheme] = {
+            "scalar_msgs_per_sec": round(scalar_rate),
+            "batch_msgs_per_sec": round(batch_rate),
+            "batch_speedup": round(batch_rate / scalar_rate, 2),
+        }
+        print(
+            f"{scheme:8s} {scalar_rate:>14,.0f} {batch_rate:>14,.0f} "
+            f"{batch_rate / scalar_rate:>7.1f}x"
+        )
+
+    results["_meta"] = {
+        "workload": f"Zipf(1.4), |K|=10k, m={NUM_MESSAGES}",
+        "num_workers": NUM_WORKERS,
+        "batch_size": BATCH_SIZE,
+        "rounds": ROUNDS,
+        "python": platform.python_version(),
+    }
+    output = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwritten to {output}")
+
+
+if __name__ == "__main__":
+    main()

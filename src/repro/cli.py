@@ -58,6 +58,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--keys", type=int, default=10_000)
     sim_parser.add_argument("--messages", type=int, default=500_000)
     sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1024,
+        help=(
+            "messages routed per route_batch call on the fast path; "
+            "results are identical for every value, 1 forces scalar "
+            "routing (default: 1024)"
+        ),
+    )
     return parser
 
 
@@ -95,6 +105,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             num_workers=args.workers,
             num_sources=args.sources,
             seed=args.seed,
+            batch_size=args.batch_size,
         )
         for name, value in result.summary().items():
             print(f"{name}: {value}")

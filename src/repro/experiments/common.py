@@ -3,7 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from itertools import islice
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.partitioning.base import Partitioner
+from repro.types import Key, WorkerId
 
 
 @dataclass(slots=True)
@@ -50,6 +54,35 @@ class ExperimentResult:
             if all(row.get(column) == value for column, value in criteria.items()):
                 matched.append(row)
         return matched
+
+
+def route_stream(
+    partitioner: Partitioner,
+    keys: Iterable[Key],
+    batch_size: int = 1024,
+) -> list[WorkerId]:
+    """Route an entire stream through one partitioner, batched.
+
+    The single-partitioner analogue of the simulation engine's batched run:
+    drivers, benchmarks and ad-hoc studies that only need the worker
+    sequence of one source should use this instead of a per-message
+    ``route`` loop.  Results are identical to sequential routing for every
+    ``batch_size``; a workload's ``iter_batches`` is used when available so
+    array-backed streams never materialise per-key.
+    """
+    if batch_size < 2:
+        return [partitioner.route(key) for key in keys]
+    out: list[WorkerId] = []
+    if hasattr(keys, "iter_batches"):
+        for chunk in keys.iter_batches(batch_size):
+            out.extend(partitioner.route_batch(chunk))
+        return out
+    iterator = iter(keys)
+    while True:
+        chunk = list(islice(iterator, batch_size))
+        if not chunk:
+            return out
+        out.extend(partitioner.route_batch(chunk))
 
 
 def _format_value(value: Any) -> str:

@@ -17,10 +17,27 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
+from repro.hashing.vectorized import bucketed_hashes
 from repro.types import Key, WorkerId
 
 _MASK64 = (1 << 64) - 1
+
+#: Upper bound on the number of keys each :class:`HashFamily` interns.  The
+#: cache is FIFO-evicted, so a family never holds more than this many
+#: candidate tuples / folded integers regardless of stream cardinality.
+DEFAULT_CACHE_SIZE = 1 << 16
+
+#: Key types the interning caches may hold.  Dict lookups use ``==``, which
+#: crosses types (``-1 == -1.0 == True`` all collide as dict keys) while
+#: ``_key_to_int`` deliberately folds those differently — so only exact
+#: types that never compare equal to another hashable type are cached;
+#: everything else (bool, float, tuples, custom objects) is folded afresh
+#: on every call.  Note ``type(True) is bool``, so bools are excluded here
+#: automatically.
+_CACHEABLE_TYPES = frozenset({str, bytes, int})
 
 # SplitMix64 constants (Steele et al., "Fast splittable pseudorandom number
 # generators").  They provide excellent avalanche behaviour for 64-bit words.
@@ -37,14 +54,21 @@ def _splitmix64(x: int) -> int:
     return x ^ (x >> 31)
 
 
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
 def _key_to_int(key: Key) -> int:
     """Serialise an arbitrary hashable key into a 64-bit integer.
 
-    Strings and bytes are folded byte-by-byte with an FNV-1a style loop so
-    that similar keys ("word1", "word2") still land far apart after mixing.
-    Integers are used directly.  Any other hashable type falls back to
-    ``hash()``; this is process-dependent for custom ``__hash__``
-    implementations, so experiments use string or integer keys.
+    Strings and bytes are folded eight bytes at a time (``int.from_bytes``
+    runs the chunk conversion in C) with an FNV-1a style multiply between
+    chunks, so similar keys ("word1", "word2") still land far apart after
+    mixing.  The length is xored into the accumulator so prefixes of each
+    other ("a", "a\\x00") stay distinct.  Integers are used directly.  Any
+    other hashable type falls back to ``hash()``; this is process-dependent
+    for custom ``__hash__`` implementations, so experiments use string or
+    integer keys.
     """
     if isinstance(key, bool):  # bool is an int subclass; keep it distinct
         return int(key) + 0x5BF03635
@@ -56,10 +80,15 @@ def _key_to_int(key: Key) -> int:
         data = key
     else:
         return hash(key) & _MASK64
-    acc = 0xCBF29CE484222325
-    for byte in data:
-        acc ^= byte
-        acc = (acc * 0x100000001B3) & _MASK64
+    length = len(data)
+    if length <= 8:
+        # XOR the offset basis so short strings stay distinct from the raw
+        # integers they would otherwise equal ('' vs 0, '\x01' vs 1, ...).
+        return int.from_bytes(data, "little") ^ (((length * _GAMMA) ^ _FNV_OFFSET) & _MASK64)
+    acc = (_FNV_OFFSET ^ (length * _GAMMA)) & _MASK64
+    for start in range(0, length, 8):
+        acc = ((acc ^ int.from_bytes(data[start : start + 8], "little"))
+               * _FNV_PRIME) & _MASK64
     return acc
 
 
@@ -98,7 +127,13 @@ class HashFamily:
     True
     """
 
-    def __init__(self, num_functions: int, num_buckets: int, seed: int = 0) -> None:
+    def __init__(
+        self,
+        num_functions: int,
+        num_buckets: int,
+        seed: int = 0,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
         if num_functions < 1:
             raise ConfigurationError(
                 f"need at least one hash function, got {num_functions}"
@@ -107,14 +142,29 @@ class HashFamily:
             raise ConfigurationError(
                 f"need at least one bucket, got {num_buckets}"
             )
+        if cache_size < 0:
+            raise ConfigurationError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
         self._num_functions = num_functions
         self._num_buckets = num_buckets
         self._seed = seed
+        self._cache_size = cache_size
         # Pre-mix one sub-seed per function so that function i is keyed by a
         # well-separated 64-bit constant rather than by the small integer i.
         self._sub_seeds = tuple(
             _splitmix64((seed & _MASK64) + i * _GAMMA) for i in range(num_functions)
         )
+        # stable_hash(key, s) == splitmix64(key_int ^ splitmix64(s)); the
+        # inner mix only depends on the sub-seed, so do it once here.
+        self._mixed_seeds = tuple(_splitmix64(s) for s in self._sub_seeds)
+        self._mixed_seeds_np = np.array(self._mixed_seeds, dtype=np.uint64)
+        # Interning caches (FIFO-evicted at cache_size entries): string keys
+        # are folded to 64 bits once, and a key's candidate tuple is derived
+        # once rather than per message.  Candidate tuples are prefix-stable
+        # in d, so one cached tuple serves every smaller d via slicing.
+        self._int_cache: dict[Key, int] = {}
+        self._candidate_cache: dict[Key, tuple[WorkerId, ...]] = {}
 
     @property
     def num_functions(self) -> int:
@@ -143,6 +193,10 @@ class HashFamily:
         removed: the paper's analysis explicitly accounts for hash collisions
         among the d choices (the ``b_h`` term), so the raw multiset is what
         callers need.
+
+        Results are interned: the first lookup of a key folds and mixes it,
+        repeat lookups (the overwhelmingly common case on skewed streams)
+        return the cached tuple.
         """
         if d is None:
             d = self._num_functions
@@ -150,9 +204,67 @@ class HashFamily:
             raise ConfigurationError(
                 f"requested d={d} outside [1, {self._num_functions}]"
             )
-        return tuple(
-            stable_hash(key, self._sub_seeds[i]) % self._num_buckets for i in range(d)
+        if type(key) not in _CACHEABLE_TYPES:
+            key_int = _key_to_int(key)
+            buckets = self._num_buckets
+            return tuple(
+                _splitmix64(key_int ^ mixed) % buckets
+                for mixed in self._mixed_seeds[:d]
+            )
+        cache = self._candidate_cache
+        cached = cache.get(key)
+        if cached is not None:
+            length = len(cached)
+            if length == d:
+                return cached
+            if length > d:
+                return cached[:d]
+        key_int = self._intern_key(key)
+        buckets = self._num_buckets
+        result = tuple(
+            _splitmix64(key_int ^ mixed) % buckets for mixed in self._mixed_seeds[:d]
         )
+        if self._cache_size:
+            if len(cache) >= self._cache_size:
+                cache.pop(next(iter(cache)))
+            cache[key] = result
+        return result
+
+    def candidates_batch(self, keys: Sequence[Key], d: int | None = None) -> np.ndarray:
+        """Candidate buckets for a whole batch of keys at once.
+
+        Returns an ``int64`` array of shape ``(len(keys), d)`` whose row
+        ``i`` equals ``candidates(keys[i], d)``.  Key serialisation goes
+        through the interning cache (each distinct key is folded once); the
+        SplitMix64 mixing and bucket reduction run vectorized over the full
+        ``(len(keys), d)`` matrix.
+        """
+        if d is None:
+            d = self._num_functions
+        if not 1 <= d <= self._num_functions:
+            raise ConfigurationError(
+                f"requested d={d} outside [1, {self._num_functions}]"
+            )
+        key_ints = np.fromiter(
+            (self._intern_key(key) for key in keys),
+            dtype=np.uint64,
+            count=len(keys),
+        )
+        return bucketed_hashes(key_ints, self._mixed_seeds_np[:d], self._num_buckets)
+
+    def _intern_key(self, key: Key) -> int:
+        """``_key_to_int`` with FIFO-bounded memoisation."""
+        if type(key) not in _CACHEABLE_TYPES:
+            return _key_to_int(key)  # cross-type ==; see _CACHEABLE_TYPES
+        cache = self._int_cache
+        value = cache.get(key)
+        if value is None:
+            value = _key_to_int(key)
+            if self._cache_size:
+                if len(cache) >= self._cache_size:
+                    cache.pop(next(iter(cache)))
+                cache[key] = value
+        return value
 
     def distinct_candidates(self, key: Key, d: int | None = None) -> tuple[WorkerId, ...]:
         """Like :meth:`candidates` but with duplicates removed, order kept."""

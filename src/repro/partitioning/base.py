@@ -10,12 +10,24 @@ derived from shared hash functions rather than routing tables.
 Subclasses implement :meth:`_select`, which returns the destination worker
 and (optionally) metadata about the decision; :meth:`route` wraps it with the
 local-load bookkeeping.
+
+Two routing paths exist:
+
+* the *decision* path (:meth:`route_with_decision` -> :meth:`_select`)
+  materialises a :class:`~repro.types.RoutingDecision` per message — used when
+  callers need candidates / head flags for tracing;
+* the *fast* path (:meth:`route` -> :meth:`_select_worker`, and the batched
+  :meth:`route_batch`) returns bare worker ids with no per-message object
+  allocation.  Schemes override :meth:`_select_worker` and
+  :meth:`route_batch` to keep the hot loop allocation-free; both paths are
+  required (and property-tested) to pick identical workers.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.types import Key, RoutingDecision, WorkerId
@@ -91,9 +103,44 @@ class Partitioner(abc.ABC):
 
     def route(self, key: Key) -> WorkerId:
         """Route one message with key ``key``; returns the destination worker."""
-        worker = self._select(key).worker
+        worker = self._select_worker(key)
         self._state.record(worker)
         return worker
+
+    def route_batch(
+        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+    ) -> list[WorkerId]:
+        """Route a whole batch of keys; returns one worker id per key.
+
+        Produces the exact same worker sequence (and final load vector) as
+        ``[self.route(key) for key in keys]`` — batching is purely a
+        performance optimisation, never a semantic change.  Schemes override
+        this to hash the batch vectorized and keep the selection loop free of
+        per-message allocations.
+
+        ``head_flags``, when given, is a caller-owned list that receives one
+        boolean per key telling whether the key was classified as a heavy
+        hitter at routing time (always ``False`` for head-oblivious schemes).
+        This lets batch consumers keep head/tail accounting without paying
+        for per-message :class:`RoutingDecision` objects.
+        """
+        select = self._select_worker
+        record = self._state.record
+        out: list[WorkerId] = []
+        append = out.append
+        if head_flags is None:
+            for key in keys:
+                worker = select(key)
+                record(worker)
+                append(worker)
+        else:
+            flag = head_flags.append
+            for key in keys:
+                decision = self._select(key)
+                record(decision.worker)
+                append(decision.worker)
+                flag(decision.is_head)
+        return out
 
     def route_with_decision(self, key: Key) -> RoutingDecision:
         """Like :meth:`route` but returns the full :class:`RoutingDecision`."""
@@ -111,6 +158,16 @@ class Partitioner(abc.ABC):
     @abc.abstractmethod
     def _select(self, key: Key) -> RoutingDecision:
         """Pick the destination worker for ``key`` (no bookkeeping)."""
+
+    def _select_worker(self, key: Key) -> WorkerId:
+        """Allocation-free variant of :meth:`_select`.
+
+        The default delegates to :meth:`_select`; performance-sensitive
+        schemes override it to skip the :class:`RoutingDecision` entirely.
+        Overrides must make exactly the same choice as :meth:`_select`
+        (including any internal state mutation happening exactly once).
+        """
+        return self._select(key).worker
 
     # ------------------------------------------------------------------ #
     # helpers shared by load-aware schemes
@@ -134,15 +191,13 @@ class Partitioner(abc.ABC):
         return best
 
     def _least_loaded_overall(self) -> WorkerId:
-        """The globally least-loaded worker according to the local view."""
+        """The globally least-loaded worker according to the local view.
+
+        ``min`` + ``index`` both return the *first* minimum, so tie-breaking
+        matches the explicit scan this replaces while running at C speed.
+        """
         loads = self._state.loads
-        best = 0
-        best_load = loads[0]
-        for worker in range(1, self._num_workers):
-            if loads[worker] < best_load:
-                best = worker
-                best_load = loads[worker]
-        return best
+        return loads.index(min(loads))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

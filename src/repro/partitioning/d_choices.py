@@ -25,7 +25,7 @@ from repro.analysis.choices import DEFAULT_EPSILON, ChoicesSolution, find_optima
 from repro.exceptions import ConfigurationError
 from repro.partitioning.head_tail import HeadTailPartitioner
 from repro.sketches.base import FrequencyEstimator
-from repro.types import Key, RoutingDecision
+from repro.types import Key, RoutingDecision, WorkerId
 
 
 class DChoices(HeadTailPartitioner):
@@ -61,6 +61,10 @@ class DChoices(HeadTailPartitioner):
     """
 
     name = "D-C"
+
+    #: The solver-recompute throttle reads messages_routed per head message,
+    #: so route_batch must keep the counter live inside a batch.
+    _head_reads_message_count = True
 
     def __init__(
         self,
@@ -135,17 +139,21 @@ class DChoices(HeadTailPartitioner):
     def _maybe_recompute(self) -> None:
         # Scanning the sketch is O(capacity); doing it for every hot-key
         # message would dominate routing, so throttle the check itself.
-        since_check = self.messages_routed - self._messages_at_last_check
-        if not self._never_solved and since_check < self._check_interval:
+        # (_state is read directly: this runs per head message and the
+        # messages_routed property call is measurable at that rate.)
+        routed = self._state.messages_routed
+        if (
+            not self._never_solved
+            and routed - self._messages_at_last_check < self._check_interval
+        ):
             return
-        self._messages_at_last_check = self.messages_routed
+        self._messages_at_last_check = routed
         head = self.current_head()
         total = max(1, self._sketch.total)
         hottest = max(head.values()) / total if head else 0.0
         signature = (len(head), hottest)
         stale_by_count = (
-            self.messages_routed - self._messages_at_last_solve
-            >= self._recompute_interval
+            routed - self._messages_at_last_solve >= self._recompute_interval
         )
         head_changed = (
             signature[0] != self._head_signature[0]
@@ -154,7 +162,7 @@ class DChoices(HeadTailPartitioner):
         )
         if self._never_solved or stale_by_count or head_changed:
             self._solution = self._find_optimal_choices()
-            self._messages_at_last_solve = self.messages_routed
+            self._messages_at_last_solve = routed
             self._head_signature = signature
             self._never_solved = False
 
@@ -172,6 +180,24 @@ class DChoices(HeadTailPartitioner):
         return RoutingDecision(
             key=key, worker=worker, candidates=candidates, is_head=True
         )
+
+    def _select_head_worker(self, key: Key) -> WorkerId:
+        # Same logic as _select_head without the RoutingDecision; candidate
+        # tuples for hot keys come straight from the hash family's interning
+        # cache, so the per-message cost is a dict hit plus the load scan.
+        self._maybe_recompute()
+        loads = self._state.loads
+        if self._solution.use_w_choices:
+            return loads.index(min(loads))
+        candidates = self._head_candidates(key, max(2, self._solution.num_choices))
+        best = candidates[0]
+        best_load = loads[best]
+        for candidate in candidates[1:]:
+            load = loads[candidate]
+            if load < best_load:
+                best = candidate
+                best_load = load
+        return best
 
     def reset(self) -> None:
         super().reset()

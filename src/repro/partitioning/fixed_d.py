@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.exceptions import ConfigurationError
 from repro.partitioning.head_tail import HeadTailPartitioner
 from repro.sketches.base import FrequencyEstimator
-from repro.types import Key, RoutingDecision
+from repro.types import Key, RoutingDecision, WorkerId
 
 
 class FixedDHead(HeadTailPartitioner):
@@ -61,3 +61,7 @@ class FixedDHead(HeadTailPartitioner):
         return RoutingDecision(
             key=key, worker=worker, candidates=candidates, is_head=True
         )
+
+    def _select_head_worker(self, key: Key) -> WorkerId:
+        candidates = self._head_candidates(key, self._num_choices)
+        return self._least_loaded(candidates)

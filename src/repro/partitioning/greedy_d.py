@@ -11,10 +11,12 @@ D-Choices (d >= 2 for the head) and, in the limit, W-Choices.  The standalone
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.exceptions import ConfigurationError
 from repro.hashing.hash_family import HashFamily
 from repro.partitioning.base import Partitioner
-from repro.types import Key, RoutingDecision
+from repro.types import Key, RoutingDecision, WorkerId
 
 
 class GreedyD(Partitioner):
@@ -53,3 +55,29 @@ class GreedyD(Partitioner):
         candidates = self._hashes.candidates(key, self._num_choices)
         worker = self._least_loaded(candidates)
         return RoutingDecision(key=key, worker=worker, candidates=candidates)
+
+    def _select_worker(self, key: Key) -> WorkerId:
+        return self._least_loaded(self._hashes.candidates(key, self._num_choices))
+
+    def route_batch(
+        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+    ) -> list[WorkerId]:
+        rows = self._hashes.candidates_batch(keys, self._num_choices).tolist()
+        state = self._state
+        loads = state.loads
+        out: list[WorkerId] = []
+        append = out.append
+        for row in rows:
+            best = row[0]
+            best_load = loads[best]
+            for candidate in row[1:]:
+                load = loads[candidate]
+                if load < best_load:
+                    best = candidate
+                    best_load = load
+            loads[best] += 1
+            append(best)
+        state.messages_routed += len(out)
+        if head_flags is not None:
+            head_flags.extend([False] * len(out))
+        return out

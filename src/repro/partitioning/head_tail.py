@@ -15,6 +15,8 @@ the head path to subclasses via :meth:`_select_head`.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.analysis.bounds import theta_range
 from repro.exceptions import ConfigurationError
 from repro.hashing.hash_family import HashFamily
@@ -115,6 +117,99 @@ class HeadTailPartitioner(Partitioner):
             return self._select_head(key)
         return self._select_tail(key)
 
+    #: Whether the head path reads ``messages_routed`` while a batch is in
+    #: flight (D-Choices' solver throttle does).  When False, route_batch
+    #: skips the per-message counter store and bulk-updates at the end.
+    _head_reads_message_count = False
+
+    def _select_worker(self, key: Key) -> WorkerId:
+        # Fast path: same steps as _select (sketch update, head test, tail
+        # two-choice) without building a RoutingDecision for the tail.
+        sketch = self._sketch
+        sketch.add(key)
+        total = sketch.total
+        if total >= self._warmup_messages and (
+            sketch.estimate(key) >= self._theta * total
+        ):
+            return self._select_head_worker(key)
+        first, second = self._hashes.candidates(key, 2)
+        loads = self._state.loads
+        return first if loads[first] <= loads[second] else second
+
+    def route_batch(
+        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+    ) -> list[WorkerId]:
+        """Batched Algorithm 1: vectorized tail hashing, shared bookkeeping.
+
+        The two tail candidates of every key in the batch are derived in one
+        vectorized pass; the selection loop then only pays the sketch update,
+        the O(1) head test and a two-way load comparison per message.  Head
+        keys defer to :meth:`_select_head_worker` exactly as the scalar path
+        does, so the worker sequence is identical to one-at-a-time routing.
+
+        Loop-invariant lookups are hoisted: the sketch update and head test
+        fuse into one ``add_and_estimate`` call when the sketch provides it
+        (SpaceSaving does), the observed total is tracked as a local counter
+        (unit adds advance it by exactly one), and ``messages_routed`` is
+        written per message only for schemes whose head path reads it
+        mid-batch (see ``_head_reads_message_count``).
+        """
+        pairs = self._hashes.candidates_batch(keys, 2).tolist()
+        state = self._state
+        loads = state.loads
+        sketch = self._sketch
+        theta = self._theta
+        warmup = self._warmup_messages
+        select_head = self._select_head_worker
+        live_count = self._head_reads_message_count
+        flag = head_flags.append if head_flags is not None else None
+        out: list[WorkerId] = []
+        append = out.append
+        add_and_estimate = getattr(sketch, "add_and_estimate", None)
+        if add_and_estimate is not None:
+            total = sketch.total
+            for key, pair in zip(keys, pairs):
+                total += 1
+                estimate = add_and_estimate(key)
+                if total >= warmup and estimate >= theta * total:
+                    worker = select_head(key)
+                    is_head = True
+                else:
+                    first, second = pair
+                    worker = first if loads[first] <= loads[second] else second
+                    is_head = False
+                loads[worker] += 1
+                if live_count:
+                    state.messages_routed += 1
+                append(worker)
+                if flag is not None:
+                    flag(is_head)
+        else:
+            # Injected estimators without the fused op: same steps, one call
+            # more per message, and the total re-read from the sketch (no
+            # assumption that add() advances it by exactly one).
+            add = sketch.add
+            estimate_key = sketch.estimate
+            for key, pair in zip(keys, pairs):
+                add(key)
+                total = sketch.total
+                if total >= warmup and estimate_key(key) >= theta * total:
+                    worker = select_head(key)
+                    is_head = True
+                else:
+                    first, second = pair
+                    worker = first if loads[first] <= loads[second] else second
+                    is_head = False
+                loads[worker] += 1
+                if live_count:
+                    state.messages_routed += 1
+                append(worker)
+                if flag is not None:
+                    flag(is_head)
+        if not live_count:
+            state.messages_routed += len(out)
+        return out
+
     def _select_tail(self, key: Key) -> RoutingDecision:
         """Tail path: the standard two choices of PKG."""
         candidates = self._hashes.candidates(key, 2)
@@ -127,17 +222,21 @@ class HeadTailPartitioner(Partitioner):
         """Head path; must be provided by the concrete scheme."""
         raise NotImplementedError
 
+    def _select_head_worker(self, key: Key) -> WorkerId:
+        """Allocation-free head path; schemes override for the hot loop.
+
+        The default delegates to :meth:`_select_head`, so subclasses that
+        only implement the decision variant stay correct (just slower).
+        """
+        return self._select_head(key).worker
+
     def reset(self) -> None:
         super().reset()
-        if isinstance(self._sketch, SpaceSaving):
-            self._sketch = SpaceSaving(self._sketch.capacity)
-        else:
-            # Best effort for injected sketches: recreate via type(capacity)
-            # is not generally possible, so just keep the old one cleared if
-            # it offers a reset, otherwise leave it (documented behaviour).
-            reset = getattr(self._sketch, "reset", None)
-            if callable(reset):
-                reset()
+        # Every built-in sketch resets in place; injected estimators without
+        # a reset() keep their counts (documented best-effort behaviour).
+        reset = getattr(self._sketch, "reset", None)
+        if callable(reset):
+            reset()
 
     # helper for subclasses that need the candidate tuple of d hashes
     def _head_candidates(self, key: Key, num_choices: int) -> tuple[WorkerId, ...]:

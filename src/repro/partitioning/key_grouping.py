@@ -8,9 +8,13 @@ imbalance — the baseline the paper improves upon.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.hashing.hash_family import HashFamily
 from repro.partitioning.base import Partitioner
-from repro.types import Key, RoutingDecision
+from repro.types import Key, RoutingDecision, WorkerId
 
 
 class KeyGrouping(Partitioner):
@@ -32,3 +36,23 @@ class KeyGrouping(Partitioner):
     def _select(self, key: Key) -> RoutingDecision:
         worker = self._hashes.hash(key, 0)
         return RoutingDecision(key=key, worker=worker, candidates=(worker,))
+
+    def _select_worker(self, key: Key) -> WorkerId:
+        return self._hashes.candidates(key, 1)[0]
+
+    def route_batch(
+        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+    ) -> list[WorkerId]:
+        # KG is stateless per message, so the whole batch vectorizes: one
+        # hashing pass, one bincount to update the load vector.
+        workers = self._hashes.candidates_batch(keys, 1)[:, 0]
+        state = self._state
+        counts = np.bincount(workers, minlength=self._num_workers).tolist()
+        loads = state.loads
+        for worker, count in enumerate(counts):
+            if count:
+                loads[worker] += count
+        state.messages_routed += len(keys)
+        if head_flags is not None:
+            head_flags.extend([False] * len(keys))
+        return workers.tolist()

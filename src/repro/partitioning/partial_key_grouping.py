@@ -12,9 +12,11 @@ working.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.hashing.hash_family import HashFamily
 from repro.partitioning.base import Partitioner
-from repro.types import Key, RoutingDecision
+from repro.types import Key, RoutingDecision, WorkerId
 
 
 class PartialKeyGrouping(Partitioner):
@@ -38,3 +40,25 @@ class PartialKeyGrouping(Partitioner):
         candidates = self._hashes.candidates(key, 2)
         worker = self._least_loaded(candidates)
         return RoutingDecision(key=key, worker=worker, candidates=candidates)
+
+    def _select_worker(self, key: Key) -> WorkerId:
+        first, second = self._hashes.candidates(key, 2)
+        loads = self._state.loads
+        return first if loads[first] <= loads[second] else second
+
+    def route_batch(
+        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+    ) -> list[WorkerId]:
+        pairs = self._hashes.candidates_batch(keys, 2).tolist()
+        state = self._state
+        loads = state.loads
+        out: list[WorkerId] = []
+        append = out.append
+        for first, second in pairs:
+            worker = first if loads[first] <= loads[second] else second
+            loads[worker] += 1
+            append(worker)
+        state.messages_routed += len(out)
+        if head_flags is not None:
+            head_flags.extend([False] * len(out))
+        return out

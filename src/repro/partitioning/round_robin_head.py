@@ -10,7 +10,7 @@ not to replication.
 from __future__ import annotations
 
 from repro.partitioning.head_tail import HeadTailPartitioner
-from repro.types import Key, RoutingDecision
+from repro.types import Key, RoutingDecision, WorkerId
 
 
 class RoundRobinHead(HeadTailPartitioner):
@@ -30,9 +30,14 @@ class RoundRobinHead(HeadTailPartitioner):
         self._next_worker = 0
 
     def _select_head(self, key: Key) -> RoutingDecision:
+        return RoutingDecision(
+            key=key, worker=self._select_head_worker(key), is_head=True
+        )
+
+    def _select_head_worker(self, key: Key) -> WorkerId:
         worker = self._next_worker
-        self._next_worker = (self._next_worker + 1) % self.num_workers
-        return RoutingDecision(key=key, worker=worker, is_head=True)
+        self._next_worker = (worker + 1) % self.num_workers
+        return worker
 
     def reset(self) -> None:
         super().reset()

@@ -7,8 +7,10 @@ number of workers — the other extreme the paper positions itself against.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.partitioning.base import Partitioner
-from repro.types import Key, RoutingDecision
+from repro.types import Key, RoutingDecision, WorkerId
 
 
 class ShuffleGrouping(Partitioner):
@@ -30,9 +32,35 @@ class ShuffleGrouping(Partitioner):
         self._next = seed % num_workers
 
     def _select(self, key: Key) -> RoutingDecision:
+        return RoutingDecision(key=key, worker=self._select_worker(key))
+
+    def _select_worker(self, key: Key) -> WorkerId:
         worker = self._next
-        self._next = (self._next + 1) % self.num_workers
-        return RoutingDecision(key=key, worker=worker)
+        self._next = (worker + 1) % self.num_workers
+        return worker
+
+    def route_batch(
+        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+    ) -> list[WorkerId]:
+        # Round-robin ignores the keys entirely: the batch is an arithmetic
+        # sequence mod n and the load vector update is closed-form.
+        count = len(keys)
+        n = self._num_workers
+        start = self._next
+        out = [(start + offset) % n for offset in range(count)]
+        self._next = (start + count) % n
+        state = self._state
+        loads = state.loads
+        full_rounds, remainder = divmod(count, n)
+        if full_rounds:
+            for worker in range(n):
+                loads[worker] += full_rounds
+        for offset in range(remainder):
+            loads[(start + offset) % n] += 1
+        state.messages_routed += count
+        if head_flags is not None:
+            head_flags.extend([False] * count)
+        return out
 
     def reset(self) -> None:
         super().reset()

@@ -39,6 +39,14 @@ class SimulationConfig:
     track_head_tail:
         When True, per-worker load is additionally split into head/tail
         contributions (needed by the Figure 8 experiment).
+    batch_size:
+        Number of messages each source routes per ``route_batch`` call.  The
+        engine chunks the stream, splits every chunk over the sources
+        round-robin and re-interleaves the decisions, so results are
+        byte-identical to one-at-a-time routing for every ``batch_size``
+        (sources are independent; only the hashing is amortised).  1 forces
+        the scalar path; the default keeps per-chunk working memory small
+        while amortising the vectorized hashing.
     """
 
     scheme: str
@@ -48,6 +56,7 @@ class SimulationConfig:
     scheme_options: dict[str, Any] = field(default_factory=dict)
     track_interval: int = 0
     track_head_tail: bool = False
+    batch_size: int = 1024
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -61,4 +70,8 @@ class SimulationConfig:
         if self.track_interval < 0:
             raise ConfigurationError(
                 f"track_interval must be >= 0, got {self.track_interval}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
             )

@@ -17,7 +17,8 @@ setup (Section V-A).
 
 from __future__ import annotations
 
-from typing import Iterable
+from itertools import islice
+from typing import Iterable, Iterator
 
 from repro.exceptions import ConfigurationError
 from repro.partitioning.base import Partitioner
@@ -103,7 +104,27 @@ class SimulationEngine:
     # execution
     # ------------------------------------------------------------------ #
     def run(self, keys: Iterable[Key]) -> SimulationResult:
-        """Consume the workload and return the aggregated result."""
+        """Consume the workload and return the aggregated result.
+
+        With ``config.batch_size > 1`` the stream is processed in chunks:
+        each chunk is split over the sources round-robin (by global message
+        index, exactly as the scalar loop assigns them), every source routes
+        its share through ``route_batch``, and the decisions are
+        re-interleaved back into stream order before metrics are recorded.
+        Sources share no state, so the per-source key subsequences — and
+        therefore every routing decision and every recorded metric — are
+        identical to one-at-a-time routing.
+        """
+        if self._config.batch_size > 1:
+            index = self._run_batched(keys)
+        else:
+            index = self._run_sequential(keys)
+        if index == 0:
+            raise ConfigurationError("cannot simulate an empty workload")
+        self._series.final(self._tracker)
+        return self._build_result(index)
+
+    def _run_sequential(self, keys: Iterable[Key]) -> int:
         num_sources = self._config.num_sources
         sources = self._sources
         tracker = self._tracker
@@ -121,11 +142,57 @@ class SimulationEngine:
                 head_keys.add(key)
             series.maybe_record(tracker)
             index += 1
+        return index
 
-        if index == 0:
-            raise ConfigurationError("cannot simulate an empty workload")
-        series.final(tracker)
-        return self._build_result(index)
+    def _run_batched(self, keys: Iterable[Key]) -> int:
+        config = self._config
+        num_sources = config.num_sources
+        sources = self._sources
+        tracker = self._tracker
+        series = self._series
+        worker_keys = self._worker_keys
+        head_keys = self._head_keys
+        chunk_size = config.batch_size * num_sources
+
+        if hasattr(keys, "iter_batches"):
+            chunks: Iterator[list[Key]] = keys.iter_batches(chunk_size)
+        else:
+            iterator = iter(keys)
+            chunks = iter(lambda: list(islice(iterator, chunk_size)), [])
+
+        index = 0
+        for chunk in chunks:
+            if not chunk:
+                continue
+            # Round-robin split by *global* index, as the scalar loop does;
+            # the shift keeps the mapping right when a chunk boundary (e.g.
+            # from a workload's own iter_batches granularity) is not a
+            # multiple of num_sources.
+            shift = index % num_sources
+            per_source = [
+                chunk[(source - shift) % num_sources :: num_sources]
+                for source in range(num_sources)
+            ]
+            workers = []
+            flags = []
+            for source, source_keys in zip(sources, per_source):
+                source_flags: list[bool] = []
+                workers.append(source.route_batch(source_keys, head_flags=source_flags))
+                flags.append(source_flags)
+            positions = [0] * num_sources
+            for key in chunk:
+                source_index = index % num_sources
+                position = positions[source_index]
+                positions[source_index] = position + 1
+                worker = workers[source_index][position]
+                is_head = flags[source_index][position]
+                tracker.record(worker, is_head=is_head)
+                worker_keys[worker].add(key)
+                if is_head:
+                    head_keys.add(key)
+                series.maybe_record(tracker)
+                index += 1
+        return index
 
     def _build_result(self, num_messages: int) -> SimulationResult:
         tracker = self._tracker

@@ -20,6 +20,7 @@ def run_simulation(
     scheme_options: dict[str, Any] | None = None,
     track_interval: int = 0,
     track_head_tail: bool = False,
+    batch_size: int = 1024,
 ) -> SimulationResult:
     """Run one grouping scheme over one workload and return the result.
 
@@ -30,6 +31,10 @@ def run_simulation(
         workload = ZipfWorkload(exponent=1.5, num_keys=10_000, num_messages=1_000_000)
         result = run_simulation(workload, scheme="D-C", num_workers=50)
         print(result.final_imbalance)
+
+    ``batch_size`` controls the routing fast path (see
+    :class:`~repro.simulation.config.SimulationConfig`); results are
+    independent of its value — 1 forces scalar routing.
     """
     config = SimulationConfig(
         scheme=scheme,
@@ -39,9 +44,12 @@ def run_simulation(
         scheme_options=scheme_options or {},
         track_interval=track_interval,
         track_head_tail=track_head_tail,
+        batch_size=batch_size,
     )
     engine = SimulationEngine(config)
-    return engine.run(iter(workload))
+    # Pass the workload itself (not iter(workload)) so the batched path can
+    # use a workload's chunked iterator when it provides one.
+    return engine.run(workload)
 
 
 def sweep(

@@ -65,7 +65,15 @@ class FrequencyEstimator(abc.ABC):
         """Iterate over all currently monitored keys."""
 
     def add_all(self, keys: Iterable[Key]) -> None:
-        """Convenience: add each key of an iterable once."""
+        """Convenience: add each key of an iterable once.
+
+        Implementations with a cheaper bulk path (SpaceSaving's run
+        collapsing) override this; the result must equal element-wise
+        :meth:`add` calls.  Concrete sketches also expose ``reset()`` to
+        clear their counters in place — it is part of the informal protocol
+        (used by the head/tail partitioners) rather than this ABC so that
+        minimal third-party estimators remain valid.
+        """
         for key in keys:
             self.add(key)
 

@@ -70,6 +70,14 @@ class CountMinSketch(FrequencyEstimator):
     def total(self) -> int:
         return self._total
 
+    def reset(self) -> None:
+        """Zero every cell in place (width/depth/seed are kept)."""
+        for row in self._rows:
+            for index in range(len(row)):
+                row[index] = 0
+        self._candidates.clear()
+        self._total = 0
+
     @property
     def width(self) -> int:
         return self._width

@@ -51,6 +51,12 @@ class LossyCounting(FrequencyEstimator):
     def __len__(self) -> int:
         return len(self._counters)
 
+    def reset(self) -> None:
+        """Forget every counter in place (epsilon/window are kept)."""
+        self._counters.clear()
+        self._total = 0
+        self._current_window = 1
+
     def add(self, key: Key, count: int = 1) -> None:
         if count < 1:
             raise SketchError(f"count must be >= 1, got {count}")

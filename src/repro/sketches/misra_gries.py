@@ -53,6 +53,12 @@ class MisraGries(FrequencyEstimator):
     def __len__(self) -> int:
         return len(self._counters)
 
+    def reset(self) -> None:
+        """Forget every counter in place (capacity is kept)."""
+        self._counters.clear()
+        self._total = 0
+        self._decrements = 0
+
     def add(self, key: Key, count: int = 1) -> None:
         if count < 1:
             raise SketchError(f"count must be >= 1, got {count}")

@@ -28,6 +28,10 @@ from repro.exceptions import ConfigurationError, SketchError
 from repro.sketches.base import FrequencyEstimate, FrequencyEstimator
 from repro.types import Key
 
+#: Sentinel distinct from every stream key (including ``None``) for run
+#: detection in :meth:`SpaceSaving.add_all`.
+_NO_KEY = object()
+
 
 class _Bucket:
     """A group of counters that share the same count value.
@@ -114,6 +118,9 @@ class SpaceSaving(FrequencyEstimator):
         return len(self._where)
 
     def add(self, key: Key, count: int = 1) -> None:
+        if count == 1:  # the streaming hot case: take the fused fast path
+            self.add_and_estimate(key)
+            return
         if count < 1:
             raise SketchError(f"count must be >= 1, got {count}")
         self._total += count
@@ -124,6 +131,89 @@ class SpaceSaving(FrequencyEstimator):
             self._insert_new(key, count, error=0)
             return
         self._replace_minimum(key, count)
+
+    def add_and_estimate(self, key: Key) -> int:
+        """Account for one occurrence of ``key`` and return its new estimate.
+
+        Semantically identical to ``add(key); estimate(key)`` but fused: the
+        routing hot path calls both on every message, and the combined form
+        saves a monitored-key lookup plus the bucket relink going through
+        three helper calls.  The unit-increment case is fully inlined.
+        """
+        self._total += 1
+        where = self._where
+        bucket = where.get(key)
+        if bucket is not None:
+            new_count = bucket.count + 1
+            nxt = bucket.next
+            if len(bucket.keys) == 1 and (nxt is None or nxt.count > new_count):
+                # The key is alone in its count class and moving it up does
+                # not collide with the successor class: bump the bucket in
+                # place.  This is the steady state of every hot key (unique
+                # high count), so the hottest messages cost one dict hit and
+                # an integer increment — no allocation, no relinking.
+                bucket.count = new_count
+                return new_count
+            # Inlined unit _increment: move the key one count class up.
+            del bucket.keys[key]
+            if nxt is not None and nxt.count == new_count:
+                target = nxt
+            else:
+                target = _Bucket(new_count)
+                target.prev = bucket
+                target.next = nxt
+                if nxt is not None:
+                    nxt.prev = target
+                bucket.next = target
+            target.keys[key] = None
+            where[key] = target
+            if not bucket.keys:
+                prev = bucket.prev
+                nxt = bucket.next
+                if prev is not None:
+                    prev.next = nxt
+                else:
+                    self._head = nxt
+                if nxt is not None:
+                    nxt.prev = prev
+                bucket.prev = bucket.next = None
+            return new_count
+        if len(where) < self._capacity:
+            self._insert_new(key, 1, error=0)
+            return 1
+        self._replace_minimum(key, 1)
+        return where[key].count
+
+    def add_all(self, keys) -> None:
+        """Bulk update: collapse runs of equal keys into one counter move.
+
+        A run of ``r`` consecutive occurrences of the same key is accounted
+        with a single ``add(key, r)`` — one total update and one
+        stream-summary relink instead of ``r``.  SpaceSaving's update is
+        weight-linear (``add(k, r)`` and ``r`` times ``add(k, 1)`` yield the
+        same summary when nothing intervenes), so the result is identical to
+        element-wise feeding; skewed streams, where the hot key arrives in
+        bursts, see most of the benefit.
+        """
+        pending: Key = _NO_KEY
+        run = 0
+        for key in keys:
+            if key == pending:
+                run += 1
+            else:
+                if run:
+                    self.add(pending, run)
+                pending = key
+                run = 1
+        if run:
+            self.add(pending, run)
+
+    def reset(self) -> None:
+        """Forget every counter in place (capacity is kept)."""
+        self._total = 0
+        self._where.clear()
+        self._errors.clear()
+        self._head = None
 
     def estimate(self, key: Key) -> int:
         bucket = self._where.get(key)

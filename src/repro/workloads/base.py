@@ -38,6 +38,26 @@ class Workload(abc.ABC):
         for timestamp, key in enumerate(self.keys()):
             yield Message(timestamp=float(timestamp), key=key)
 
+    def iter_batches(self, batch_size: int = 8192) -> Iterator[list[Key]]:
+        """Yield the stream as chunked lists, in order.
+
+        Feeds the batched routing fast path (``Partitioner.route_batch`` /
+        the simulation engine) without per-key generator overhead.  The
+        concatenation of all chunks equals :meth:`keys` exactly; only the
+        chunk boundaries are an implementation detail.  Subclasses backed by
+        array generation override this to skip the per-key yield entirely.
+        """
+        batch: list[Key] = []
+        append = batch.append
+        for key in self.keys():
+            append(key)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
+
     def __iter__(self) -> Iterator[Key]:
         return self.keys()
 

@@ -80,15 +80,25 @@ class ZipfWorkload(Workload):
         return self._seed
 
     def keys(self) -> Iterator[Key]:
+        for batch in self.iter_batches(_CHUNK):
+            yield from batch
+
+    def iter_batches(self, batch_size: int = 8192) -> Iterator[list[Key]]:
+        """Chunked stream: numpy draws converted to Python ints in bulk.
+
+        Same draws in the same order as :meth:`keys` for any ``batch_size``
+        (the RNG consumption is fixed at ``_CHUNK``-sized draws); ``tolist``
+        replaces the per-key ``int(rank)`` conversions.
+        """
         rng = np.random.default_rng(self._seed)
         remaining = self._num_messages
         probabilities = self._distribution.probabilities
         support = np.arange(1, self._distribution.num_keys + 1)
         while remaining > 0:
             size = min(_CHUNK, remaining)
-            ranks = rng.choice(support, size=size, p=probabilities)
-            for rank in ranks:
-                yield int(rank)
+            ranks = rng.choice(support, size=size, p=probabilities).tolist()
+            for start in range(0, size, batch_size):
+                yield ranks[start : start + batch_size]
             remaining -= size
 
     def stats(self) -> DatasetStats:
