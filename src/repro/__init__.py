@@ -153,4 +153,20 @@ __all__ = [
     "ClusterResult",
     "ClusterTopology",
     "run_cluster_experiment",
+    # suite (lazy, see __getattr__)
+    "ResultsStore",
+    "run_suite",
 ]
+
+#: Importing the suite pulls in every experiment driver module via the
+#: registry; resolve these two names lazily (PEP 562) so plain library use
+#: (partitioners, sketches, simulation) does not pay that import cost.
+_LAZY_SUITE_EXPORTS = frozenset({"ResultsStore", "run_suite"})
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUITE_EXPORTS:
+        from repro import suite
+
+        return getattr(suite, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

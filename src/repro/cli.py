@@ -1,12 +1,16 @@
 """Command-line interface: ``repro-slb``.
 
-Three sub-commands:
+Four sub-commands:
 
-* ``list`` — show the available experiments (one per table/figure);
+* ``list`` — show the available experiments (one per paper figure/table);
 * ``run <experiment-id>`` — run one experiment and print its rows
-  (``--scale paper`` uses the paper-scale parameters, default is ``quick``);
-* ``simulate`` — run an ad-hoc simulation of one scheme on a Zipf workload
-  and print the imbalance (handy for quick what-if questions).
+  (``--scale tiny|quick|paper``, default ``quick``);
+* ``simulate`` — ad-hoc simulation of one grouping scheme on a Zipf
+  workload (handy for quick what-if questions);
+* ``suite`` — orchestrate the whole reproduction: ``suite run`` executes
+  every registered experiment across a process pool with content-addressed
+  caching under ``results/``, ``suite report`` summarises the store, and
+  ``suite clean`` empties it.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import sys
 from typing import Sequence
 
 from repro.experiments.common import print_result
+from repro.experiments.descriptor import SCALES
 from repro.experiments.registry import get_experiment, list_experiments, run_experiment
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
@@ -31,15 +36,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list the available experiments")
+    subparsers.add_parser(
+        "list", help="list the available experiments (one per paper figure/table)"
+    )
 
-    run_parser = subparsers.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", help="experiment id, e.g. fig1, fig13, table1")
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment and print its rows"
+    )
+    run_parser.add_argument(
+        "experiment", help="experiment id, e.g. fig1, fig13, table1 (see `list`)"
+    )
     run_parser.add_argument(
         "--scale",
-        choices=("quick", "paper"),
+        choices=SCALES,
         default="quick",
-        help="parameter scale (default: quick)",
+        help=(
+            "parameter scale: tiny (smoke test, seconds), quick (the "
+            "default, laptop-sized) or paper (the paper's exact parameters)"
+        ),
     )
     run_parser.add_argument(
         "--export",
@@ -51,13 +65,38 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser = subparsers.add_parser(
         "simulate", help="ad-hoc simulation of one scheme on a Zipf stream"
     )
-    sim_parser.add_argument("--scheme", default="D-C", help="grouping scheme name")
-    sim_parser.add_argument("--workers", type=int, default=50)
-    sim_parser.add_argument("--sources", type=int, default=5)
-    sim_parser.add_argument("--skew", type=float, default=1.5)
-    sim_parser.add_argument("--keys", type=int, default=10_000)
-    sim_parser.add_argument("--messages", type=int, default=500_000)
-    sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument(
+        "--scheme",
+        default="D-C",
+        help=(
+            "grouping scheme name from the partitioner registry "
+            "(KG, SG, PKG, D-C, W-C, RR, GREEDY-D, FIXED-D, CH); default: D-C"
+        ),
+    )
+    sim_parser.add_argument(
+        "--workers", type=int, default=50,
+        help="number of downstream workers n (default: 50)",
+    )
+    sim_parser.add_argument(
+        "--sources", type=int, default=5,
+        help="number of independent sources s (default: 5, as in the paper)",
+    )
+    sim_parser.add_argument(
+        "--skew", type=float, default=1.5,
+        help="Zipf exponent z of the key distribution (default: 1.5)",
+    )
+    sim_parser.add_argument(
+        "--keys", type=int, default=10_000,
+        help="key-space size |K| of the Zipf stream (default: 10000)",
+    )
+    sim_parser.add_argument(
+        "--messages", type=int, default=500_000,
+        help="stream length m in messages (default: 500000)",
+    )
+    sim_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base RNG seed for the workload and the schemes (default: 0)",
+    )
     sim_parser.add_argument(
         "--batch-size",
         type=int,
@@ -68,7 +107,169 @@ def _build_parser() -> argparse.ArgumentParser:
             "routing (default: 1024)"
         ),
     )
+
+    suite_parser = subparsers.add_parser(
+        "suite",
+        help="orchestrate the full reproduction with caching under results/",
+    )
+    suite_commands = suite_parser.add_subparsers(dest="suite_command", required=True)
+
+    suite_run = suite_commands.add_parser(
+        "run",
+        help=(
+            "run every registered experiment (or --experiments subset) in "
+            "parallel; cells already in the store are cache hits, so an "
+            "interrupted run resumes where it stopped"
+        ),
+    )
+    suite_run.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="quick",
+        help="parameter scale of every cell (default: quick)",
+    )
+    suite_run.add_argument(
+        "--experiments",
+        nargs="+",
+        metavar="ID",
+        default=None,
+        help="subset of experiment ids to run (default: all registered)",
+    )
+    suite_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes; 1 runs inline, default picks "
+            "min(cells, cpu count)"
+        ),
+    )
+    suite_run.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cell even when its record is already stored",
+    )
+    suite_run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "override the routing batch size of every experiment config "
+            "that has one; results are identical for any value, so cached "
+            "records stay valid"
+        ),
+    )
+    suite_run.add_argument(
+        "--results-dir",
+        metavar="PATH",
+        default=None,
+        help="results store location (default: results/)",
+    )
+    suite_run.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="also write the run summary rows to PATH (.csv or .json)",
+    )
+
+    suite_report = suite_commands.add_parser(
+        "report", help="summarise the records in the results store"
+    )
+    suite_report.add_argument(
+        "--scale",
+        choices=SCALES,
+        default=None,
+        help="only report records of this scale (default: all)",
+    )
+    suite_report.add_argument(
+        "--charts",
+        action="store_true",
+        help="also render each experiment's ASCII figure from its rows",
+    )
+    suite_report.add_argument(
+        "--results-dir",
+        metavar="PATH",
+        default=None,
+        help="results store location (default: results/)",
+    )
+    suite_report.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="also write the summary rows to PATH (.csv or .json)",
+    )
+
+    suite_clean = suite_commands.add_parser(
+        "clean", help="delete stored records (all, or --experiments subset)"
+    )
+    suite_clean.add_argument(
+        "--experiments",
+        nargs="+",
+        metavar="ID",
+        default=None,
+        help="only delete records of these experiment ids (default: all)",
+    )
+    suite_clean.add_argument(
+        "--results-dir",
+        metavar="PATH",
+        default=None,
+        help="results store location (default: results/)",
+    )
+
     return parser
+
+
+def _suite_main(args: argparse.Namespace) -> int:
+    from repro.suite.orchestrator import run_suite
+    from repro.suite.report import export_report, render_report
+    from repro.suite.store import open_store
+
+    store = open_store(args.results_dir)
+
+    if args.suite_command == "run":
+        failures: list = []
+
+        def progress(outcome, done, total) -> None:
+            note = f"{outcome.elapsed_seconds:.2f}s"
+            if outcome.status == "failed":
+                note = outcome.error_summary or "failed"
+                failures.append(outcome)
+            print(
+                f"[{done:2d}/{total}] {outcome.experiment_id:8s} "
+                f"{outcome.status:8s} {note}"
+            )
+
+        summary = run_suite(
+            experiment_ids=args.experiments,
+            scale=args.scale,
+            jobs=args.jobs,
+            store=store,
+            force=args.force,
+            batch_size=args.batch_size,
+            progress=progress,
+        )
+        print()
+        print_result(summary.as_result())
+        for outcome in failures:
+            print(f"\nfull traceback of {outcome.experiment_id}:\n{outcome.error}")
+        if args.export:
+            from repro.reporting.export import write_result
+
+            print(f"summary written to {write_result(summary.as_result(), args.export)}")
+        return 0 if summary.ok else 1
+
+    if args.suite_command == "report":
+        print(render_report(store, scale=args.scale, charts=args.charts))
+        if args.export:
+            print(f"summary written to {export_report(store, args.export, scale=args.scale)}")
+        return 0
+
+    if args.suite_command == "clean":
+        removed = store.clear(args.experiments)
+        print(f"removed {removed} record(s) from {store.root}/")
+        return 0
+
+    raise AssertionError(f"unknown suite command {args.suite_command!r}")  # pragma: no cover
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -79,7 +280,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         for experiment_id in list_experiments():
             entry = get_experiment(experiment_id)
-            print(f"{experiment_id:8s}  {entry.title}")
+            print(f"{experiment_id:8s}  {entry.descriptor.artifact:9s}  {entry.title}")
         return 0
 
     if args.command == "run":
@@ -110,6 +311,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name, value in result.summary().items():
             print(f"{name}: {value}")
         return 0
+
+    if args.command == "suite":
+        return _suite_main(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -55,6 +55,47 @@ class ExperimentResult:
                 matched.append(row)
         return matched
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (the suite store's payload)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "parameters": jsonable(self.parameters),
+            "rows": [jsonable(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (store records)."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            parameters=dict(payload.get("parameters", {})),
+            rows=[dict(row) for row in payload.get("rows", [])],
+            notes=list(payload.get("notes", [])),
+        )
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of a value into JSON-serialisable objects.
+
+    Dicts and sequences recurse; scalars pass through; anything else (numpy
+    integers, dataclasses, Paths ...) falls back to ``str``.  Used by the
+    exporters and by the suite store when fingerprinting configurations.
+    """
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (str, int, float)):
+        # numpy floats subclass float and serialise fine; numpy ints do not
+        # subclass int and fall through to the str branch below.
+        return value
+    return str(value)
+
 
 def route_stream(
     partitioner: Partitioner,

@@ -16,7 +16,8 @@ import numpy as np
 
 from repro.analysis.head import head_cardinality
 from repro.analysis.zipf import ZipfDistribution
-from repro.experiments.common import ExperimentResult, print_result
+from repro.experiments.common import ExperimentResult
+from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 
 EXPERIMENT_ID = "fig3"
 TITLE = "Cardinality of the head vs. skew for theta in {1/(5n), 2/n}"
@@ -37,6 +38,11 @@ class Fig03Config:
     @classmethod
     def quick(cls) -> "Fig03Config":
         return cls(skews=(0.4, 0.8, 1.2, 1.6, 2.0))
+
+    @classmethod
+    def tiny(cls) -> "Fig03Config":
+        """Smoke-test scale used by the suite orchestrator and CI."""
+        return cls(skews=(0.8, 1.6), worker_counts=(50,))
 
 
 def run(config: Fig03Config | None = None) -> ExperimentResult:
@@ -70,9 +76,26 @@ def run(config: Fig03Config | None = None) -> ExperimentResult:
     return result
 
 
-def main() -> None:  # pragma: no cover
-    print_result(run(Fig03Config.quick()))
+DESCRIPTOR = ExperimentDescriptor(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    artifact="Figure 3",
+    claim=(
+        "The head contains at most a few tens of keys across the skew "
+        "range, which keeps the replication overhead of D-C / W-C low."
+    ),
+    run=run,
+    config_class=Fig03Config,
+    kind="analytical",
+    output=OutputSpec(
+        kind="series",
+        x="skew",
+        y="head_cardinality",
+        series_by=("workers", "theta"),
+    ),
+)
 
+main = DESCRIPTOR.cli_main
 
 if __name__ == "__main__":  # pragma: no cover
     main()

@@ -18,7 +18,8 @@ from repro.analysis.bounds import theta_range
 from repro.analysis.choices import find_optimal_choices
 from repro.analysis.head import head_cardinality
 from repro.analysis.zipf import ZipfDistribution
-from repro.experiments.common import ExperimentResult, print_result
+from repro.experiments.common import ExperimentResult
+from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 
 EXPERIMENT_ID = "fig4"
 TITLE = "Fraction of workers (d/n) used by D-Choices for the head vs. skew"
@@ -40,6 +41,11 @@ class Fig04Config:
     @classmethod
     def quick(cls) -> "Fig04Config":
         return cls(skews=(0.4, 1.0, 1.6, 2.0), worker_counts=(50, 100))
+
+    @classmethod
+    def tiny(cls) -> "Fig04Config":
+        """Smoke-test scale used by the suite orchestrator and CI."""
+        return cls(skews=(1.0, 2.0), worker_counts=(50,))
 
 
 def run(config: Fig04Config | None = None) -> ExperimentResult:
@@ -80,9 +86,24 @@ def run(config: Fig04Config | None = None) -> ExperimentResult:
     return result
 
 
-def main() -> None:  # pragma: no cover
-    print_result(run(Fig04Config.quick()))
+DESCRIPTOR = ExperimentDescriptor(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    artifact="Figure 4",
+    claim=(
+        "At 50-100 workers the constraint solver picks d < n across the "
+        "skew range, i.e. D-Choices is strictly cheaper than W-Choices."
+    ),
+    run=run,
+    config_class=Fig04Config,
+    kind="analytical",
+    schemes=("D-C",),
+    output=OutputSpec(
+        kind="series", x="skew", y="d_over_n", series_by=("workers",)
+    ),
+)
 
+main = DESCRIPTOR.cli_main
 
 if __name__ == "__main__":  # pragma: no cover
     main()

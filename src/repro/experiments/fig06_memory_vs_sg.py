@@ -14,7 +14,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.memory import memory_model_for_zipf
-from repro.experiments.common import ExperimentResult, print_result
+from repro.experiments.common import ExperimentResult
+from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 
 EXPERIMENT_ID = "fig6"
 TITLE = "Memory overhead of D-C and W-C with respect to SG vs. skew"
@@ -39,6 +40,11 @@ class Fig06Config:
         # The model is purely analytical, so the full message count costs
         # nothing; only the skew grid is thinned.
         return cls(skews=(0.4, 0.8, 1.2, 1.6, 2.0))
+
+    @classmethod
+    def tiny(cls) -> "Fig06Config":
+        """Smoke-test scale used by the suite orchestrator and CI."""
+        return cls(skews=(0.8, 1.6), worker_counts=(50,))
 
 
 def run(config: Fig06Config | None = None) -> ExperimentResult:
@@ -76,9 +82,24 @@ def run(config: Fig06Config | None = None) -> ExperimentResult:
     return result
 
 
-def main() -> None:  # pragma: no cover
-    print_result(run(Fig06Config.quick()))
+DESCRIPTOR = ExperimentDescriptor(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    artifact="Figure 6",
+    claim=(
+        "D-C and W-C use at least ~70-80% less memory than shuffle "
+        "grouping across the whole skew range."
+    ),
+    run=run,
+    config_class=Fig06Config,
+    kind="analytical",
+    schemes=("D-C", "W-C", "SG"),
+    output=OutputSpec(
+        kind="series", x="skew", y="dchoices_vs_sg_pct", series_by=("workers",)
+    ),
+)
 
+main = DESCRIPTOR.cli_main
 
 if __name__ == "__main__":  # pragma: no cover
     main()

@@ -17,7 +17,8 @@ from repro.analysis.bounds import theta_range
 from repro.analysis.choices import find_optimal_choices
 from repro.analysis.head import head_cardinality
 from repro.analysis.zipf import ZipfDistribution
-from repro.experiments.common import ExperimentResult, print_result
+from repro.experiments.common import ExperimentResult
+from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
 
@@ -44,6 +45,7 @@ class Fig09Config:
     #: Candidate d values are probed with this stride to keep the sweep
     #: tractable; 1 reproduces the exhaustive search of the paper.
     d_stride: int = 1
+    batch_size: int = 1024
 
     @classmethod
     def paper(cls) -> "Fig09Config":
@@ -56,6 +58,16 @@ class Fig09Config:
             worker_counts=(50,),
             num_messages=100_000,
             d_stride=4,
+        )
+
+    @classmethod
+    def tiny(cls) -> "Fig09Config":
+        """Smoke-test scale used by the suite orchestrator and CI."""
+        return cls(
+            skews=(2.0,),
+            worker_counts=(20,),
+            num_messages=8_000,
+            d_stride=6,
         )
 
 
@@ -74,6 +86,7 @@ def _imbalance_for_scheme(config: Fig09Config, num_workers: int, skew: float,
         num_sources=config.num_sources,
         seed=config.seed,
         scheme_options=options,
+        batch_size=config.batch_size,
     )
     return simulation.final_imbalance
 
@@ -138,9 +151,24 @@ def run(config: Fig09Config | None = None) -> ExperimentResult:
     return result
 
 
-def main() -> None:  # pragma: no cover
-    print_result(run(Fig09Config.quick()))
+DESCRIPTOR = ExperimentDescriptor(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    artifact="Figure 9",
+    claim=(
+        "The analytical d chosen by the constraint solver tracks the "
+        "empirically minimal d closely, erring slightly on the large side."
+    ),
+    run=run,
+    config_class=Fig09Config,
+    kind="simulation",
+    schemes=("D-C", "W-C", "FIXED-D"),
+    output=OutputSpec(
+        kind="series", x="skew", y="analytical_d_over_n", series_by=("workers",)
+    ),
+)
 
+main = DESCRIPTOR.cli_main
 
 if __name__ == "__main__":  # pragma: no cover
     main()

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.experiments.common import ExperimentResult, print_result
+from repro.experiments.common import ExperimentResult
+from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
 
@@ -32,6 +33,7 @@ class Fig10Config:
     num_sources: int = 5
     seed: int = 0
     schemes: Sequence[str] = SCHEMES
+    batch_size: int = 1024
 
     @classmethod
     def paper(cls) -> "Fig10Config":
@@ -44,6 +46,16 @@ class Fig10Config:
             worker_counts=(10, 50),
             key_counts=(10_000,),
             num_messages=100_000,
+        )
+
+    @classmethod
+    def tiny(cls) -> "Fig10Config":
+        """Smoke-test scale used by the suite orchestrator and CI."""
+        return cls(
+            skews=(2.0,),
+            worker_counts=(10,),
+            key_counts=(10_000,),
+            num_messages=8_000,
         )
 
 
@@ -74,6 +86,7 @@ def run(config: Fig10Config | None = None) -> ExperimentResult:
                         num_workers=num_workers,
                         num_sources=config.num_sources,
                         seed=config.seed,
+                        batch_size=config.batch_size,
                     )
                     result.rows.append(
                         {
@@ -96,9 +109,29 @@ def run(config: Fig10Config | None = None) -> ExperimentResult:
     return result
 
 
-def main() -> None:  # pragma: no cover
-    print_result(run(Fig10Config.quick()))
+DESCRIPTOR = ExperimentDescriptor(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    artifact="Figure 10",
+    claim=(
+        "The key-space size barely matters; skew and scale do.  W-C is the "
+        "best performer, D-C and RR close behind, and PKG degrades sharply "
+        "for large z and n."
+    ),
+    run=run,
+    config_class=Fig10Config,
+    kind="simulation",
+    schemes=SCHEMES,
+    output=OutputSpec(
+        kind="series",
+        x="skew",
+        y="imbalance",
+        series_by=("scheme", "workers", "num_keys"),
+        log_y=True,
+    ),
+)
 
+main = DESCRIPTOR.cli_main
 
 if __name__ == "__main__":  # pragma: no cover
     main()

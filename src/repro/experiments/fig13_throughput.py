@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cluster.runner import run_cluster_experiment
-from repro.experiments.common import ExperimentResult, print_result
+from repro.experiments.common import ExperimentResult
+from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.workloads.zipf_stream import ZipfWorkload
 
 EXPERIMENT_ID = "fig13"
@@ -44,6 +45,16 @@ class Fig13Config:
     @classmethod
     def quick(cls) -> "Fig13Config":
         return cls(skews=(1.4, 2.0), num_messages=40_000)
+
+    @classmethod
+    def tiny(cls) -> "Fig13Config":
+        """Smoke-test scale used by the suite orchestrator and CI."""
+        return cls(
+            skews=(2.0,),
+            num_messages=8_000,
+            num_sources=8,
+            num_workers=16,
+        )
 
 
 def run(config: Fig13Config | None = None) -> ExperimentResult:
@@ -89,9 +100,24 @@ def run(config: Fig13Config | None = None) -> ExperimentResult:
     return result
 
 
-def main() -> None:  # pragma: no cover
-    print_result(run(Fig13Config.quick()))
+DESCRIPTOR = ExperimentDescriptor(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    artifact="Figure 13",
+    claim=(
+        "KG is the slowest, PKG sits in between, and D-C / W-C match SG's "
+        "throughput; the gaps widen as the skew grows."
+    ),
+    run=run,
+    config_class=Fig13Config,
+    kind="cluster",
+    schemes=SCHEMES,
+    output=OutputSpec(
+        kind="bars", x="skew", y="throughput_per_s", series_by=("scheme",)
+    ),
+)
 
+main = DESCRIPTOR.cli_main
 
 if __name__ == "__main__":  # pragma: no cover
     main()

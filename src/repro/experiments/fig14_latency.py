@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cluster.runner import run_cluster_experiment
-from repro.experiments.common import ExperimentResult, print_result
+from repro.experiments.common import ExperimentResult
+from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.workloads.zipf_stream import ZipfWorkload
 
 EXPERIMENT_ID = "fig14"
@@ -42,6 +43,16 @@ class Fig14Config:
     @classmethod
     def quick(cls) -> "Fig14Config":
         return cls(skews=(1.4, 2.0), num_messages=40_000)
+
+    @classmethod
+    def tiny(cls) -> "Fig14Config":
+        """Smoke-test scale used by the suite orchestrator and CI."""
+        return cls(
+            skews=(2.0,),
+            num_messages=8_000,
+            num_sources=8,
+            num_workers=16,
+        )
 
 
 def run(config: Fig14Config | None = None) -> ExperimentResult:
@@ -82,9 +93,24 @@ def run(config: Fig14Config | None = None) -> ExperimentResult:
     return result
 
 
-def main() -> None:  # pragma: no cover
-    print_result(run(Fig14Config.quick()))
+DESCRIPTOR = ExperimentDescriptor(
+    experiment_id=EXPERIMENT_ID,
+    title=TITLE,
+    artifact="Figure 14",
+    claim=(
+        "KG's latency is dominated by the hot worker's queue, PKG roughly "
+        "halves it, and D-C / W-C are close to SG."
+    ),
+    run=run,
+    config_class=Fig14Config,
+    kind="cluster",
+    schemes=SCHEMES,
+    output=OutputSpec(
+        kind="bars", x="skew", y="p99_ms", series_by=("scheme",)
+    ),
+)
 
+main = DESCRIPTOR.cli_main
 
 if __name__ == "__main__":  # pragma: no cover
     main()

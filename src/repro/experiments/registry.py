@@ -1,9 +1,15 @@
-"""Registry mapping experiment identifiers to their driver modules."""
+"""Registry mapping experiment identifiers to their declarative descriptors.
+
+Each driver module declares a ``DESCRIPTOR``
+(:class:`~repro.experiments.descriptor.ExperimentDescriptor`); this module
+collects them into one lookup table consumed by the CLI, the suite
+orchestrator and the docs guard test.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.exceptions import ConfigurationError
 from repro.experiments import (
@@ -23,51 +29,73 @@ from repro.experiments import (
     table1_datasets,
 )
 from repro.experiments.common import ExperimentResult
+from repro.experiments.descriptor import ExperimentDescriptor
 
 
 @dataclass(frozen=True, slots=True)
 class ExperimentEntry:
-    """One registered experiment: its id, title and callables."""
+    """One registered experiment; everything derives from its descriptor."""
 
-    experiment_id: str
-    title: str
-    #: ``run(config)`` of the driver module.
-    run: Callable[..., ExperimentResult]
-    #: Factory for the quick (benchmark-sized) configuration.
-    quick_config: Callable[[], object]
-    #: Factory for the paper-scale configuration.
-    paper_config: Callable[[], object]
+    #: The full declarative descriptor (paper artifact, claim, output spec).
+    descriptor: ExperimentDescriptor
+
+    @property
+    def experiment_id(self) -> str:
+        """Registry identifier ("fig1" ... "table1")."""
+        return self.descriptor.experiment_id
+
+    @property
+    def title(self) -> str:
+        """Human-readable description of the reproduced artifact."""
+        return self.descriptor.title
+
+    @property
+    def run(self) -> Callable[..., ExperimentResult]:
+        """``run(config)`` of the driver module."""
+        return self.descriptor.run
+
+    @property
+    def tiny_config(self) -> Callable[[], object]:
+        """Factory for the smoke-test (suite/CI-sized) configuration."""
+        return self.descriptor.config_class.tiny
+
+    @property
+    def quick_config(self) -> Callable[[], object]:
+        """Factory for the quick (benchmark-sized) configuration."""
+        return self.descriptor.config_class.quick
+
+    @property
+    def paper_config(self) -> Callable[[], object]:
+        """Factory for the paper-scale configuration."""
+        return self.descriptor.config_class.paper
+
+    def config_for(self, scale: str) -> object:
+        """Build the preset configuration for ``scale`` (tiny/quick/paper)."""
+        return self.descriptor.config(scale)
 
 
 _MODULES = (
-    (fig01_scale_imbalance, "Fig01Config"),
-    (fig03_head_cardinality, "Fig03Config"),
-    (fig04_fraction_workers, "Fig04Config"),
-    (fig05_memory_vs_pkg, "Fig05Config"),
-    (fig06_memory_vs_sg, "Fig06Config"),
-    (fig07_threshold_sweep, "Fig07Config"),
-    (fig08_head_tail_load, "Fig08Config"),
-    (fig09_optimal_d, "Fig09Config"),
-    (fig10_zipf_imbalance, "Fig10Config"),
-    (fig11_real_imbalance, "Fig11Config"),
-    (fig12_imbalance_over_time, "Fig12Config"),
-    (fig13_throughput, "Fig13Config"),
-    (fig14_latency, "Fig14Config"),
-    (table1_datasets, "Table1Config"),
+    fig01_scale_imbalance,
+    fig03_head_cardinality,
+    fig04_fraction_workers,
+    fig05_memory_vs_pkg,
+    fig06_memory_vs_sg,
+    fig07_threshold_sweep,
+    fig08_head_tail_load,
+    fig09_optimal_d,
+    fig10_zipf_imbalance,
+    fig11_real_imbalance,
+    fig12_imbalance_over_time,
+    fig13_throughput,
+    fig14_latency,
+    table1_datasets,
 )
 
 
 def _build_registry() -> dict[str, ExperimentEntry]:
     registry: dict[str, ExperimentEntry] = {}
-    for module, config_name in _MODULES:
-        config_class = getattr(module, config_name)
-        entry = ExperimentEntry(
-            experiment_id=module.EXPERIMENT_ID,
-            title=module.TITLE,
-            run=module.run,
-            quick_config=config_class.quick,
-            paper_config=config_class.paper,
-        )
+    for module in _MODULES:
+        entry = ExperimentEntry(descriptor=module.DESCRIPTOR)
         registry[entry.experiment_id] = entry
     return registry
 
@@ -78,6 +106,11 @@ _REGISTRY = _build_registry()
 def list_experiments() -> tuple[str, ...]:
     """Identifiers of every registered experiment (fig1 ... table1)."""
     return tuple(_REGISTRY)
+
+
+def iter_entries() -> Iterator[ExperimentEntry]:
+    """All registered entries, in registration (figure) order."""
+    return iter(_REGISTRY.values())
 
 
 def get_experiment(experiment_id: str) -> ExperimentEntry:
@@ -91,14 +124,10 @@ def get_experiment(experiment_id: str) -> ExperimentEntry:
 
 
 def run_experiment(experiment_id: str, scale: str = "quick") -> ExperimentResult:
-    """Run one experiment at the requested scale ("quick" or "paper")."""
+    """Run one experiment at the requested scale (tiny, quick or paper).
+
+    Scale validation happens in ``descriptor.config``; an unknown scale
+    raises :class:`~repro.exceptions.ConfigurationError`.
+    """
     entry = get_experiment(experiment_id)
-    if scale == "quick":
-        config = entry.quick_config()
-    elif scale == "paper":
-        config = entry.paper_config()
-    else:
-        raise ConfigurationError(
-            f"scale must be 'quick' or 'paper', got {scale!r}"
-        )
-    return entry.run(config)
+    return entry.run(entry.config_for(scale))

@@ -9,7 +9,7 @@ import os
 from typing import Any
 
 from repro.exceptions import ConfigurationError
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, jsonable as _jsonable
 
 
 def result_to_csv(result: ExperimentResult) -> str:
@@ -54,14 +54,3 @@ def write_result(result: ExperimentResult, path: str | os.PathLike[str]) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(payload)
     return os.path.abspath(path)
-
-
-def _jsonable(value: Any) -> Any:
-    """Best-effort conversion of row values into JSON-serialisable objects."""
-    if isinstance(value, dict):
-        return {str(key): _jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return str(value)

@@ -1,0 +1,106 @@
+"""Tests for the ``repro-slb suite`` command group."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.suite.store import ResultsStore
+
+
+def _run(args):
+    return main(["suite", *args])
+
+
+class TestSuiteRun:
+    def test_run_then_cache_hit(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "results")
+        base = [
+            "run",
+            "--scale",
+            "tiny",
+            "--experiments",
+            "fig3",
+            "fig4",
+            "--jobs",
+            "1",
+            "--results-dir",
+            results_dir,
+        ]
+        assert _run(base) == 0
+        output = capsys.readouterr().out
+        assert "computed=2, cached=0" in output
+
+        store = ResultsStore(results_dir)
+        assert {record.experiment_id for record in store.iter_records()} == {"fig3", "fig4"}
+
+        assert _run(base) == 0
+        output = capsys.readouterr().out
+        assert "computed=0, cached=2" in output
+
+    def test_run_exports_summary(self, tmp_path, capsys):
+        export = tmp_path / "summary.json"
+        assert (
+            _run(
+                [
+                    "run",
+                    "--scale",
+                    "tiny",
+                    "--experiments",
+                    "fig3",
+                    "--jobs",
+                    "1",
+                    "--results-dir",
+                    str(tmp_path / "results"),
+                    "--export",
+                    str(export),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        document = json.loads(export.read_text(encoding="utf-8"))
+        assert document["rows"][0]["experiment"] == "fig3"
+
+
+class TestSuiteReportAndClean:
+    def test_report_and_clean_lifecycle(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "results")
+        assert (
+            _run(
+                [
+                    "run",
+                    "--scale",
+                    "tiny",
+                    "--experiments",
+                    "fig3",
+                    "fig4",
+                    "--jobs",
+                    "1",
+                    "--results-dir",
+                    results_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        assert _run(["report", "--results-dir", results_dir, "--charts"]) == 0
+        output = capsys.readouterr().out
+        assert "fig3" in output and "fig4" in output
+        assert "Figure 3" in output  # artifact column from the descriptor
+        assert "#" in output  # runtime bar chart
+
+        export = tmp_path / "report.csv"
+        assert _run(["report", "--results-dir", results_dir, "--export", str(export)]) == 0
+        capsys.readouterr()
+        assert "experiment" in export.read_text(encoding="utf-8")
+
+        assert _run(["clean", "--results-dir", results_dir, "--experiments", "fig3"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert _run(["clean", "--results-dir", results_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_report_on_empty_store(self, tmp_path, capsys):
+        assert _run(["report", "--results-dir", str(tmp_path / "empty")]) == 0
+        assert "no records" in capsys.readouterr().out
