@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Fail if routing throughput regressed against the committed baseline.
+
+The CI bench guard runs ``run_routing_bench.py`` at reduced scale and then::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_routing.json --current bench-current.json \
+        --threshold 0.30 --metric batch_msgs_per_sec --schemes PKG
+
+A scheme regresses when its measured rate drops more than ``threshold``
+(default 30%) below the baseline.  Exit code 1 on any regression, 0
+otherwise.  Rates *above* baseline never fail (faster is fine); schemes
+missing from either file are reported and skipped — the guard compares what
+both measured.
+
+Baselines and CI runners have different hardware, so the default threshold
+is deliberately loose: it catches algorithmic regressions (an accidental
+O(n) in the hot loop), not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_METRIC = "batch_msgs_per_sec"
+DEFAULT_THRESHOLD = 0.30
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    metric: str = DEFAULT_METRIC,
+    schemes: list[str] | None = None,
+) -> list[str]:
+    """Return one failure message per regressed scheme (empty = pass).
+
+    Schemes the caller named explicitly (``schemes``) must exist in both
+    files — a guard told to watch PKG that cannot find PKG has failed, not
+    passed vacuously.  Only in whole-baseline mode are missing entries
+    skipped with a note (the two files may cover different scheme sets).
+    """
+    failures: list[str] = []
+    explicit = schemes is not None
+    names = schemes or [name for name in baseline if not name.startswith("_")]
+    for name in names:
+        base_entry = baseline.get(name)
+        current_entry = current.get(name)
+        if not isinstance(base_entry, dict) or metric not in base_entry:
+            if explicit:
+                failures.append(f"{name}: no baseline {metric} to guard against")
+            else:
+                print(f"note: {name}: no baseline {metric}; skipped")
+            continue
+        if not isinstance(current_entry, dict) or metric not in current_entry:
+            if explicit:
+                failures.append(f"{name}: no current {metric} was measured")
+            else:
+                print(f"note: {name}: no current {metric}; skipped")
+            continue
+        base_rate = float(base_entry[metric])
+        current_rate = float(current_entry[metric])
+        if base_rate <= 0:
+            print(f"note: {name}: non-positive baseline {metric}; skipped")
+            continue
+        ratio = current_rate / base_rate
+        status = "ok" if ratio >= 1.0 - threshold else "REGRESSED"
+        print(
+            f"{name:8s} {metric}: baseline {base_rate:,.6g} -> current "
+            f"{current_rate:,.6g} ({ratio:.2f}x) {status}"
+        )
+        if status == "REGRESSED":
+            failures.append(
+                f"{name}: {metric} dropped to {ratio:.2f}x of baseline "
+                f"(allowed >= {1.0 - threshold:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="BENCH_routing.json",
+        help="committed baseline JSON (default: BENCH_routing.json)",
+    )
+    parser.add_argument(
+        "--current", required=True,
+        help="freshly measured JSON to compare against the baseline",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help=f"allowed fractional drop (default: {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--metric", default=DEFAULT_METRIC,
+        help=f"per-scheme rate to compare (default: {DEFAULT_METRIC})",
+    )
+    parser.add_argument(
+        "--schemes", nargs="+", default=None, metavar="NAME",
+        help="subset of schemes to guard (default: every baseline scheme)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error(f"--threshold must be in [0, 1), got {args.threshold}")
+
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    current = json.loads(Path(args.current).read_text(encoding="utf-8"))
+    failures = compare(
+        baseline, current,
+        threshold=args.threshold, metric=args.metric, schemes=args.schemes,
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,10 +12,16 @@ The JSON schema is one entry per scheme::
 
     {"PKG": {"scalar_msgs_per_sec": ..., "batch_msgs_per_sec": ...,
              "batch_speedup": ...}, ..., "_meta": {...}}
+
+The CI bench guard runs this at reduced scale
+(``--messages 10000 --rounds 3 --output bench-current.json``) and compares
+the result against the committed baseline with
+``benchmarks/check_bench_regression.py``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import time
@@ -31,17 +37,18 @@ ROUNDS = 5
 SCHEMES = ("KG", "SG", "PKG", "D-C", "W-C", "RR")
 
 
-def _best_time(function) -> float:
+def _best_time(function, rounds: int) -> float:
     best = float("inf")
-    for _ in range(ROUNDS):
+    for _ in range(rounds):
         start = time.perf_counter()
         function()
         best = min(best, time.perf_counter() - start)
     return best
 
 
-def main() -> None:
-    keys = list(ZipfWorkload(1.4, 10_000, NUM_MESSAGES, seed=9))
+def run_bench(num_messages: int = NUM_MESSAGES, rounds: int = ROUNDS) -> dict[str, object]:
+    """Measure every scheme and return the BENCH_routing.json payload."""
+    keys = list(ZipfWorkload(1.4, 10_000, num_messages, seed=9))
     results: dict[str, object] = {}
     print(f"{'scheme':8s} {'scalar msg/s':>14s} {'batch msg/s':>14s} {'speedup':>8s}")
     for scheme in SCHEMES:
@@ -57,8 +64,8 @@ def main() -> None:
             for start in range(0, len(keys), BATCH_SIZE):
                 partitioner.route_batch(keys[start : start + BATCH_SIZE])
 
-        scalar_rate = NUM_MESSAGES / _best_time(scalar)
-        batch_rate = NUM_MESSAGES / _best_time(batched)
+        scalar_rate = num_messages / _best_time(scalar, rounds)
+        batch_rate = num_messages / _best_time(batched, rounds)
         results[scheme] = {
             "scalar_msgs_per_sec": round(scalar_rate),
             "batch_msgs_per_sec": round(batch_rate),
@@ -70,13 +77,37 @@ def main() -> None:
         )
 
     results["_meta"] = {
-        "workload": f"Zipf(1.4), |K|=10k, m={NUM_MESSAGES}",
+        "workload": f"Zipf(1.4), |K|=10k, m={num_messages}",
         "num_workers": NUM_WORKERS,
         "batch_size": BATCH_SIZE,
-        "rounds": ROUNDS,
+        "rounds": rounds,
         "python": platform.python_version(),
     }
-    output = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+    return results
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Measure scalar vs batched routing throughput."
+    )
+    parser.add_argument(
+        "--messages", type=int, default=NUM_MESSAGES,
+        help=f"stream length per measurement (default: {NUM_MESSAGES})",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=ROUNDS,
+        help=f"measurement repetitions, best-of (default: {ROUNDS})",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="where to write the JSON (default: BENCH_routing.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(num_messages=args.messages, rounds=args.rounds)
+    if args.output is not None:
+        output = Path(args.output)
+    else:
+        output = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwritten to {output}")
 

@@ -16,12 +16,15 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import CashtagLikeWorkload, create_partitioner
 from repro.simulation.metrics import LoadTracker
 
 NUM_WORKERS = 80
 NUM_SOURCES = 3
-NUM_MESSAGES = 120_000
+#: Stream length; the CI smoke test shrinks it via REPRO_EXAMPLE_MESSAGES.
+NUM_MESSAGES = int(os.environ.get("REPRO_EXAMPLE_MESSAGES", "120000"))
 NUM_HOURS = 6
 
 

@@ -12,11 +12,14 @@ memory — the two quantities the paper trades off.
 
 from __future__ import annotations
 
+import os
+
 from repro import ZipfWorkload, run_simulation
 
 NUM_WORKERS = 50
 NUM_SOURCES = 5
-NUM_MESSAGES = 200_000
+#: Stream length; the CI smoke test shrinks it via REPRO_EXAMPLE_MESSAGES.
+NUM_MESSAGES = int(os.environ.get("REPRO_EXAMPLE_MESSAGES", "200000"))
 SKEW = 1.8
 
 

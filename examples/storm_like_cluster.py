@@ -12,11 +12,14 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import ZipfWorkload, run_cluster_experiment
 
 NUM_SOURCES = 24
 NUM_WORKERS = 40
-NUM_MESSAGES = 60_000
+#: Stream length; the CI smoke test shrinks it via REPRO_EXAMPLE_MESSAGES.
+NUM_MESSAGES = int(os.environ.get("REPRO_EXAMPLE_MESSAGES", "60000"))
 SKEW = 2.0
 
 

@@ -14,13 +14,16 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from collections import Counter
 
 from repro import TwitterLikeWorkload, create_partitioner
 
 NUM_WORKERS = 20
 NUM_SOURCES = 4
-NUM_MESSAGES = 150_000
+#: Stream length; the CI smoke test shrinks it via REPRO_EXAMPLE_MESSAGES.
+NUM_MESSAGES = int(os.environ.get("REPRO_EXAMPLE_MESSAGES", "150000"))
 SCHEME = "D-C"
 
 

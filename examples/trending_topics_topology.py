@@ -20,6 +20,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from collections import Counter
 
 from repro import Topology, ZipfWorkload, run_topology
@@ -30,7 +32,8 @@ from repro.types import Message
 
 NUM_SPLITTERS = 4
 NUM_COUNTERS = 12
-NUM_POSTS = 50_000
+#: Stream length; the CI smoke test shrinks it via REPRO_EXAMPLE_MESSAGES.
+NUM_POSTS = int(os.environ.get("REPRO_EXAMPLE_MESSAGES", "50000"))
 TOPICS = 3_000
 SKEW = 1.6
 

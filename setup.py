@@ -1,11 +1,17 @@
 """Setuptools shim.
 
-The canonical project metadata lives in ``pyproject.toml``.  This file exists
-only so the package can be installed in editable mode on machines without the
-``wheel`` package (offline environments), where pip falls back to the legacy
-``setup.py develop`` code path::
+The canonical project metadata lives in ``pyproject.toml`` (PEP 621,
+src layout).  On machines with network access a plain editable install
+works::
 
-    pip install -e . --no-build-isolation --no-use-pep517
+    pip install -e .          # or: pip install -e .[test]
+
+This file exists only for offline environments without the ``wheel``
+package, where the PEP 660 editable build cannot run; there the legacy
+develop path still installs the package and the ``repro-slb`` console
+script::
+
+    python setup.py develop
 """
 
 from setuptools import setup

@@ -29,6 +29,13 @@ from repro.analysis import (
 from repro.analysis.memory import memory_model_for_zipf
 from repro.cluster import ClusterResult, ClusterTopology, run_cluster_experiment
 from repro.dataflow import Topology, TopologyResult, run_topology
+from repro.elasticity import (
+    MigrationReport,
+    RescalePlan,
+    WorkerFail,
+    WorkerJoin,
+    WorkerLeave,
+)
 from repro.exceptions import (
     AnalysisError,
     ConfigurationError,
@@ -144,6 +151,12 @@ __all__ = [
     "Workload",
     "ZipfWorkload",
     "load_dataset",
+    # elasticity
+    "MigrationReport",
+    "RescalePlan",
+    "WorkerFail",
+    "WorkerJoin",
+    "WorkerLeave",
     # simulation
     "SimulationConfig",
     "SimulationResult",

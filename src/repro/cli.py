@@ -6,7 +6,9 @@ Four sub-commands:
 * ``run <experiment-id>`` — run one experiment and print its rows
   (``--scale tiny|quick|paper``, default ``quick``);
 * ``simulate`` — ad-hoc simulation of one grouping scheme on a Zipf
-  workload (handy for quick what-if questions);
+  workload (handy for quick what-if questions); ``--rescale
+  "join@5000,leave@12000,fail@15000"`` replays an elastic worker schedule
+  mid-stream and reports the migration costs;
 * ``suite`` — orchestrate the whole reproduction: ``suite run`` executes
   every registered experiment across a process pool with content-addressed
   caching under ``results/``, ``suite report`` summarises the store, and
@@ -105,6 +107,36 @@ def _build_parser() -> argparse.ArgumentParser:
             "messages routed per route_batch call on the fast path; "
             "results are identical for every value, 1 forces scalar "
             "routing (default: 1024)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--rescale",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "elastic rescale schedule, e.g. "
+            "'join@5000,leave@12000,fail@15000' (offsets in messages); "
+            "workers join at the next free id, leave/fail retire the "
+            "highest id (default: no rescaling)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--rescale-policy",
+        choices=("rehash", "migrate", "remap"),
+        default="migrate",
+        help=(
+            "how rescale events are executed: stop-the-world re-hash, "
+            "incremental migration or candidate-set remap (default: migrate)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--migration-window",
+        type=int,
+        default=1000,
+        metavar="N",
+        help=(
+            "transition window in tuples during which tuples to moved keys "
+            "count as misrouted (migrate policy only; default: 1000)"
         ),
     )
 
@@ -307,9 +339,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             num_sources=args.sources,
             seed=args.seed,
             batch_size=args.batch_size,
+            rescale_plan=args.rescale,
+            rescale_policy=args.rescale_policy,
+            migration_window=args.migration_window,
         )
         for name, value in result.summary().items():
             print(f"{name}: {value}")
+        if result.migration is not None:
+            for record in result.migration.events:
+                print(
+                    f"rescale {record.kind}@{record.offset}: "
+                    f"{record.old_num_workers}->{record.new_num_workers} workers, "
+                    f"{record.keys_moved} keys moved, "
+                    f"{record.entries_migrated} entries migrated, "
+                    f"{record.entries_lost} entries lost, "
+                    f"{record.tuples_misrouted} tuples misrouted"
+                )
         return 0
 
     if args.command == "suite":

@@ -29,6 +29,8 @@ from repro.cluster.latency import LatencyCollector
 from repro.cluster.queues import WorkerQueue
 from repro.cluster.results import ClusterResult
 from repro.cluster.topology import ClusterTopology
+from repro.elasticity.events import RescaleEvent
+from repro.elasticity.policies import RescalePolicy, get_policy
 from repro.exceptions import SimulationError
 from repro.partitioning.base import Partitioner
 from repro.partitioning.registry import canonical_name, create_partitioner
@@ -89,6 +91,16 @@ class ClusterEngine:
         self._events = EventQueue()
         self._latency = LatencyCollector(topology.num_workers)
         self._load = LoadTracker(topology.num_workers)
+        # Elasticity: the same plans the routing simulation replays, with
+        # queue drain (leave) / in-flight loss (fail) on the worker side.
+        plan = topology.rescale_plan
+        self._pending_rescales: list[RescaleEvent] = list(plan.events) if plan else []
+        self._rescale_policy: RescalePolicy | None = (
+            get_policy(plan.policy) if plan else None
+        )
+        self._rescales_applied = 0
+        self._messages_drained = 0
+        self._messages_lost = 0
 
     @property
     def topology(self) -> ClusterTopology:
@@ -123,14 +135,23 @@ class ClusterEngine:
                 if credit <= 0:
                     # Out of credit; the ack handler will reschedule.
                     continue
+                # Apply any rescale event due at this emission offset, then
+                # cap the micro-batch so the next event falls exactly on an
+                # emission boundary (offsets count emitted messages).
+                rescales = self._pending_rescales
+                while rescales and rescales[0].offset <= emitted:
+                    self._apply_rescale(rescales.pop(0), event.time)
+                take = min(batch_size, credit)
+                if rescales:
+                    take = min(take, rescales[0].offset - emitted)
                 # Micro-batch: pull up to min(batch_size, credit) keys so one
                 # scheduling event amortises one route_batch call.  With
                 # batch_size=1 this is exactly the per-message behaviour.
-                batch_keys = list(islice(key_iterator, min(batch_size, credit)))
+                batch_keys = list(islice(key_iterator, take))
                 if not batch_keys:
                     exhausted = True
                     continue
-                if len(batch_keys) < min(batch_size, credit):
+                if len(batch_keys) < take:
                     exhausted = True
                 emitted += len(batch_keys)
                 completion = self._emit(source_index, source, batch_keys, event.time)
@@ -160,7 +181,56 @@ class ClusterEngine:
                 worker.utilization(duration) for worker in self._workers
             ],
             imbalance=self._load.imbalance(),
+            rescale_events=self._rescales_applied,
+            messages_drained=self._messages_drained,
+            messages_lost=self._messages_lost,
         )
+
+    # ------------------------------------------------------------------ #
+    # elasticity
+    # ------------------------------------------------------------------ #
+    def _apply_rescale(self, event: RescaleEvent, now: float) -> None:
+        """Replay one join/leave/fail on the running cluster.
+
+        Every source's partitioner rescales under the plan's policy; the
+        worker side follows: a join adds an idle queue, a leave retires the
+        highest-id worker after its queue drains (tuples already enqueued
+        complete and are handed off — counted as drained).  A fail counts
+        the dead worker's backlog as ``messages_lost`` but keeps those
+        completions on the timeline: the replayed copies would occupy the
+        same capacity the originals did, so the schedule stands in for the
+        replay and the completed/throughput/latency totals include that
+        replay work (no event-heap rewriting, sources re-credit on the
+        original completion times).
+        """
+        policy = self._rescale_policy
+        assert policy is not None  # only called when a plan exists
+        old_num_workers = len(self._workers)
+        new_num_workers = event.new_num_workers(old_num_workers)
+        if new_num_workers < 1:  # validated at topology time; defensive
+            raise SimulationError(
+                f"rescale event {event.spec} would drop below 1 worker"
+            )
+        for source in self._sources:
+            policy.apply(source.partitioner, new_num_workers)
+        if new_num_workers > old_num_workers:
+            self._workers.append(
+                WorkerQueue(service_time_ms=self._topology.service_time_ms)
+            )
+        else:
+            queue = self._workers.pop()
+            backlog = 0
+            if queue.busy_until > now:
+                backlog = int(
+                    -(-(queue.busy_until - now) // queue.service_time_ms)
+                )
+            if event.loses_state:
+                self._messages_lost += backlog
+            else:
+                self._messages_drained += backlog
+        self._load.rescale(new_num_workers)
+        self._latency.rescale(new_num_workers)
+        self._rescales_applied += 1
 
     # ------------------------------------------------------------------ #
     # internals

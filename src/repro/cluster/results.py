@@ -26,10 +26,28 @@ class ClusterResult:
         Aggregated latency statistics — the Figure 14 metrics.
     worker_utilization:
         Per-worker busy fraction, useful to see which scheme saturates a
-        single worker (KG) versus spreading load (SG, D-C, W-C).
+        single worker (KG) versus spreading load (SG, D-C, W-C).  After a
+        rescale this covers the *final* worker set only, with every busy
+        fraction taken over the full run duration — a worker that joined
+        late shows a proportionally lower number, and retired workers are
+        not reported (their tuples remain in the latency/throughput
+        totals).
     imbalance:
         Final load imbalance ``I(m)`` over message counts, for
         cross-checking against the pure simulation results.
+    rescale_events:
+        Number of worker join/leave/fail events replayed during the run
+        (0 in the paper's fixed-worker setting).
+    messages_drained:
+        Tuples still queued on a gracefully leaving worker at its departure
+        (they complete during the drain and are handed off).
+    messages_lost:
+        Tuples queued on a failed worker at failure time.  Modelling note:
+        these tuples are *not* subtracted from ``num_messages`` — the
+        simulator keeps their completions on the timeline as a stand-in for
+        the replayed copies (a replay occupies the same capacity the
+        original would have), so this field reports how many tuples needed
+        replay, while throughput/latency include that replay work.
     """
 
     scheme: str
@@ -39,6 +57,9 @@ class ClusterResult:
     latency: LatencyStats
     worker_utilization: list[float] = field(default_factory=list)
     imbalance: float = 0.0
+    rescale_events: int = 0
+    messages_drained: int = 0
+    messages_lost: int = 0
 
     def summary(self) -> dict[str, object]:
         row: dict[str, object] = {
@@ -49,4 +70,8 @@ class ClusterResult:
             "imbalance": self.imbalance,
         }
         row.update(self.latency.as_row())
+        if self.rescale_events:
+            row["rescale_events"] = self.rescale_events
+            row["messages_drained"] = self.messages_drained
+            row["messages_lost"] = self.messages_lost
         return row

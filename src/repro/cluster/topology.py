@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.elasticity.events import RescalePlan, as_plan
 from repro.exceptions import ConfigurationError
 
 #: The paper's cluster experiment parameters (Section V-B, Q4).
@@ -53,6 +54,16 @@ class ClusterTopology:
         message.  1 (the default) reproduces strictly per-message emission;
         larger values trade event-queue overhead and intra-batch
         interleaving for routing throughput.
+    rescale_plan:
+        Optional elasticity schedule (a
+        :class:`~repro.elasticity.events.RescalePlan` or a spec string like
+        ``"join@5000,fail@15000"``); offsets count *emitted* messages.  A
+        join adds a fresh worker queue, a leave drains the departing
+        worker's queue before retiring it, a fail drops the tuples still
+        queued on the dead worker (they are replayed by their sources).
+    rescale_policy, migration_window:
+        Execution policy for spec-string plans, as in
+        :class:`~repro.simulation.config.SimulationConfig`.
     """
 
     scheme: str
@@ -64,6 +75,9 @@ class ClusterTopology:
     seed: int = 0
     scheme_options: dict[str, Any] = field(default_factory=dict)
     batch_size: int = 1
+    rescale_plan: RescalePlan | str | None = None
+    rescale_policy: str = "rehash"
+    migration_window: int = 1000
 
     def __post_init__(self) -> None:
         if self.num_sources < 1:
@@ -91,6 +105,13 @@ class ClusterTopology:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
+        self.rescale_plan = as_plan(
+            self.rescale_plan,
+            policy=self.rescale_policy,
+            migration_window=self.migration_window,
+        )
+        if self.rescale_plan is not None:
+            self.rescale_plan.validate_for(self.num_workers)
 
     @property
     def ideal_throughput_per_second(self) -> float:

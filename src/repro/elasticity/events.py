@@ -1,0 +1,248 @@
+"""Rescale events and schedules ("rescale plans").
+
+The paper evaluates every grouping scheme on a *fixed* worker set; this
+module is the vocabulary for breaking that assumption.  A
+:class:`RescaleEvent` changes the downstream worker set at a given stream
+offset (a 0-based global message index); a :class:`RescalePlan` is an
+ordered schedule of such events plus the policy used to execute them.
+
+Worker identity model
+---------------------
+Workers are always the contiguous ids ``0 .. n-1`` — the invariant every
+hash family, load vector and tracker in this library is built on.  A
+:class:`WorkerJoin` therefore adds the worker with id ``n`` (the next free
+id); :class:`WorkerLeave` and :class:`WorkerFail` remove the worker with the
+*highest* id.  This "scale at the tail" model matches how elastic stream
+systems with contiguous task ids (Storm rebalance, Heron container scaling)
+grow and shrink, keeps the hashing substrate well-defined, and preserves the
+minimal-movement property of the consistent-hash ring (only the arcs of the
+departing worker change owners).
+
+The difference between *leave* and *fail* is what happens to state:
+
+* ``leave`` — graceful: the departing worker drains its queue and its
+  operator state is handed off (counted as migrated by the accountant);
+* ``fail`` — abrupt: queued tuples and operator state on the worker are
+  lost (counted as lost).
+
+Events are parsed from compact specs like ``"join@5000,leave@12000"`` — the
+format the CLI's ``simulate --rescale`` flag accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+#: Event kinds in spec order of severity: add capacity, drain it, lose it.
+EVENT_KINDS = ("join", "leave", "fail")
+
+
+@dataclass(frozen=True, slots=True)
+class RescaleEvent:
+    """Base class: one change of the worker set at stream offset ``offset``.
+
+    The event fires *before* the message with global index ``offset`` is
+    routed: that message and every later one see the new topology.
+    """
+
+    offset: int
+
+    #: "join", "leave" or "fail"; fixed per subclass.
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ConfigurationError(
+                f"rescale offset must be >= 0, got {self.offset}"
+            )
+        if self.kind not in EVENT_KINDS:
+            # Catches direct instantiation of the base class (kind "") and
+            # typo'd kinds; the engines dispatch on this string.
+            raise ConfigurationError(
+                f"rescale event kind must be one of {EVENT_KINDS}, got "
+                f"{self.kind!r}; use WorkerJoin/WorkerLeave/WorkerFail"
+            )
+
+    def new_num_workers(self, current: int) -> int:
+        """Worker count after this event, given ``current`` workers."""
+        if self.kind == "join":
+            return current + 1
+        return current - 1
+
+    @property
+    def loses_state(self) -> bool:
+        """Whether the departing worker's state is lost (fail) or handed off."""
+        return self.kind == "fail"
+
+    @property
+    def spec(self) -> str:
+        """The compact ``kind@offset`` form this event parses from."""
+        return f"{self.kind}@{self.offset}"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerJoin(RescaleEvent):
+    """A new worker (id = current ``n``) joins the downstream operator."""
+
+    kind: str = "join"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerLeave(RescaleEvent):
+    """The highest-id worker leaves gracefully: drain, then hand off state."""
+
+    kind: str = "leave"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerFail(RescaleEvent):
+    """The highest-id worker fails abruptly: queued tuples and state are lost."""
+
+    kind: str = "fail"
+
+
+_EVENT_CLASSES = {
+    "join": WorkerJoin,
+    "leave": WorkerLeave,
+    "fail": WorkerFail,
+}
+
+
+def parse_event(spec: str) -> RescaleEvent:
+    """Parse one ``kind@offset`` token (e.g. ``"join@5000"``)."""
+    token = spec.strip().lower()
+    kind, separator, offset_text = token.partition("@")
+    if not separator or kind not in _EVENT_CLASSES:
+        raise ConfigurationError(
+            f"invalid rescale event {spec!r}; expected kind@offset with kind "
+            f"in {EVENT_KINDS}"
+        )
+    try:
+        offset = int(offset_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid rescale offset in {spec!r}: {offset_text!r} is not an "
+            f"integer"
+        ) from None
+    return _EVENT_CLASSES[kind](offset=offset)
+
+
+@dataclass(frozen=True, slots=True)
+class RescalePlan:
+    """An ordered schedule of rescale events plus the execution policy.
+
+    Attributes
+    ----------
+    events:
+        The schedule, sorted by offset (ties keep their given order).
+    policy:
+        Name of the rescale policy executing each event ("rehash",
+        "migrate" or "remap" — see :mod:`repro.elasticity.policies`).
+    migration_window:
+        Length, in routed tuples, of the transition window after an event
+        during which tuples addressed to moved keys count as misrouted
+        (only the "migrate" policy has a non-zero window).
+    """
+
+    events: tuple[RescaleEvent, ...]
+    policy: str = "rehash"
+    migration_window: int = 1000
+
+    def __post_init__(self) -> None:
+        # Imported here to avoid a module cycle (policies document the plan).
+        from repro.elasticity.policies import POLICY_NAMES
+
+        if self.policy not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown rescale policy {self.policy!r}; known: {POLICY_NAMES}"
+            )
+        if self.migration_window < 0:
+            raise ConfigurationError(
+                f"migration_window must be >= 0, got {self.migration_window}"
+            )
+        ordered = tuple(sorted(self.events, key=lambda event: event.offset))
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str | Iterable[str],
+        policy: str = "rehash",
+        migration_window: int = 1000,
+    ) -> "RescalePlan":
+        """Build a plan from ``"join@5000,leave@12000,fail@15000"``.
+
+        ``spec`` may also be an iterable of single-event tokens.  An empty
+        spec yields an empty plan (valid, but a no-op).
+        """
+        if isinstance(spec, str):
+            tokens = [token for token in spec.split(",") if token.strip()]
+        else:
+            tokens = [token for token in spec if str(token).strip()]
+        events = tuple(parse_event(str(token)) for token in tokens)
+        return cls(
+            events=events, policy=policy, migration_window=migration_window
+        )
+
+    @property
+    def spec(self) -> str:
+        """Canonical comma-separated form (round-trips through :meth:`parse`)."""
+        return ",".join(event.spec for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def workers_at(self, offset: int, initial_workers: int) -> int:
+        """Active worker count when the message at ``offset`` is routed.
+
+        Counts every event with ``event.offset <= offset`` as applied (an
+        event fires before its offset's message).
+        """
+        workers = initial_workers
+        for event in self.events:
+            if event.offset > offset:
+                break
+            workers = event.new_num_workers(workers)
+        return workers
+
+    def validate_for(self, initial_workers: int) -> None:
+        """Reject schedules that would shrink the cluster below one worker."""
+        workers = initial_workers
+        for event in self.events:
+            workers = event.new_num_workers(workers)
+            if workers < 1:
+                raise ConfigurationError(
+                    f"rescale plan {self.spec!r} drops below 1 worker at "
+                    f"offset {event.offset} (started from {initial_workers})"
+                )
+
+    def trajectory(self, initial_workers: int) -> list[tuple[int, int]]:
+        """``(offset, workers_after_event)`` for every event, in order."""
+        workers = initial_workers
+        points: list[tuple[int, int]] = []
+        for event in self.events:
+            workers = event.new_num_workers(workers)
+            points.append((event.offset, workers))
+        return points
+
+
+def as_plan(
+    value: "RescalePlan | str | Sequence[str] | None",
+    policy: str = "rehash",
+    migration_window: int = 1000,
+) -> RescalePlan | None:
+    """Normalise config input into a plan (``None`` and ``""`` mean no plan)."""
+    if value is None:
+        return None
+    if isinstance(value, RescalePlan):
+        return value
+    plan = RescalePlan.parse(
+        value, policy=policy, migration_window=migration_window
+    )
+    return plan if plan else None

@@ -1,0 +1,108 @@
+"""Rescale policies: how a running system executes a topology change.
+
+Three strategies from the elasticity literature, expressed over this
+library's sender-local partitioners:
+
+``rehash`` — stop-the-world re-hash
+    The stream pauses, every routing structure is rebuilt from scratch for
+    the new worker count and the senders' local state (load vectors, head
+    sketches) is reset, exactly as if the job had been redeployed.  Nothing
+    misroutes because nothing flows during the transition; the cost is the
+    near-total key remap of modulo hashing and the loss of the senders'
+    learned head tables (heavy hitters must be re-detected after the
+    warmup).
+
+``migrate`` — consistent-grouping-style incremental migration
+    Partitioners rescale *in place* (the consistent-hash ring only reassigns
+    the arcs of the changed worker; head-tail schemes keep their sketches
+    and load vectors).  The state of moved keys migrates in the background
+    while the stream keeps flowing: for the next ``migration_window`` tuples
+    a tuple addressed to a moved key counts as *misrouted* — it reaches a
+    worker that does not hold the key's state yet.
+
+``remap`` — PKG candidate-set remap
+    Like ``migrate``, partitioners rescale in place, but the system
+    exploits that candidate sets are hash-derived and routing-table-free:
+    every sender recomputes the new candidates instantly and the state of
+    each moved key is handed to its new candidates *before* its next tuple
+    is processed.  No tuples misroute; the entire cost appears as migrated
+    state entries.
+
+Policies mutate partitioners only through the public
+:meth:`~repro.partitioning.base.Partitioner.rescale` /
+:meth:`~repro.partitioning.base.Partitioner.reset` contract, so every
+registered scheme works with every policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.partitioning.base import Partitioner
+
+
+@dataclass(frozen=True, slots=True)
+class RescalePolicy:
+    """One strategy for applying a rescale event to the running senders.
+
+    Attributes
+    ----------
+    name:
+        Registry name ("rehash", "migrate", "remap").
+    preserves_sender_state:
+        Whether the senders' local load vectors and head sketches survive
+        the event (False only for the stop-the-world rebuild).
+    has_misroute_window:
+        Whether tuples to moved keys misroute during the transition (only
+        the incremental migration policy).
+    """
+
+    name: str
+    preserves_sender_state: bool
+    has_misroute_window: bool
+
+    def apply(self, partitioner: Partitioner, new_num_workers: int) -> None:
+        """Rescale one sender's partitioner according to this policy."""
+        partitioner.rescale(new_num_workers)
+        if not self.preserves_sender_state:
+            # Stop-the-world rebuild: the redeployed senders start with
+            # empty load vectors and empty sketches, as a fresh job would.
+            partitioner.reset()
+
+    def misroute_window(self, migration_window: int) -> int:
+        """Transition-window length in tuples (0 = no misrouting)."""
+        return migration_window if self.has_misroute_window else 0
+
+
+STOP_THE_WORLD_REHASH = RescalePolicy(
+    name="rehash", preserves_sender_state=False, has_misroute_window=False
+)
+INCREMENTAL_MIGRATION = RescalePolicy(
+    name="migrate", preserves_sender_state=True, has_misroute_window=True
+)
+CANDIDATE_SET_REMAP = RescalePolicy(
+    name="remap", preserves_sender_state=True, has_misroute_window=False
+)
+
+_POLICIES: dict[str, RescalePolicy] = {
+    policy.name: policy
+    for policy in (
+        STOP_THE_WORLD_REHASH,
+        INCREMENTAL_MIGRATION,
+        CANDIDATE_SET_REMAP,
+    )
+}
+
+#: Canonical policy names, in documentation order.
+POLICY_NAMES = tuple(_POLICIES)
+
+
+def get_policy(name: str) -> RescalePolicy:
+    """Look up a policy by name (case-insensitive)."""
+    policy = _POLICIES.get(name.strip().lower())
+    if policy is None:
+        raise ConfigurationError(
+            f"unknown rescale policy {name!r}; known: {POLICY_NAMES}"
+        )
+    return policy

@@ -26,6 +26,8 @@ from repro.experiments import (
     fig12_imbalance_over_time,
     fig13_throughput,
     fig14_latency,
+    fig15_rescale_imbalance,
+    fig16_migration_cost,
     table1_datasets,
 )
 from repro.experiments.common import ExperimentResult
@@ -88,6 +90,8 @@ _MODULES = (
     fig12_imbalance_over_time,
     fig13_throughput,
     fig14_latency,
+    fig15_rescale_imbalance,
+    fig16_migration_cost,
     table1_datasets,
 )
 

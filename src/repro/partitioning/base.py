@@ -152,6 +152,55 @@ class Partitioner(abc.ABC):
         """Forget all per-source state (loads and any sketches)."""
         self._state = PartitionerState(loads=[0] * self._num_workers)
 
+    def rescale(self, new_num_workers: int) -> None:
+        """Resize the downstream worker set to ``new_num_workers``.
+
+        Workers are always the contiguous ids ``0 .. n-1``: growing appends
+        new ids at the tail, shrinking removes the highest ids (see
+        :mod:`repro.elasticity.events` for why).  The local load vector of
+        surviving workers is preserved — the sender keeps what it learned —
+        and new workers start with zero estimated load.  Scheme-specific
+        routing structures are adjusted by :meth:`_rescale_structures`,
+        which every scheme holding sizing-dependent state **must** override
+        (the base class holds none, so its hook is a no-op): the hash-based
+        schemes rebuild their families for the new bucket count, while
+        consistent grouping and the head/tail schemes use incremental
+        implementations (the ring keeps its arcs, the sketches keep their
+        head tables).
+        """
+        if new_num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {new_num_workers}"
+            )
+        old_num_workers = self._num_workers
+        if new_num_workers == old_num_workers:
+            return
+        self._num_workers = new_num_workers
+        loads = self._state.loads
+        if new_num_workers > old_num_workers:
+            loads.extend([0] * (new_num_workers - old_num_workers))
+        else:
+            del loads[new_num_workers:]
+        self._rescale_structures(old_num_workers, new_num_workers)
+
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        """Adjust scheme-internal structures after a worker-count change.
+
+        The base class holds no hashing state, so this is a no-op; schemes
+        with hash families rebuild (or incrementally adjust) them here.
+        """
+
+    def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
+        """The workers ``key`` may currently be routed to — *pure*.
+
+        Unlike :meth:`_select`, this must not mutate any state (no sketch
+        updates, no load changes): the elasticity accountant calls it before
+        and after a rescale event for every observed key to decide which
+        keys moved.  An empty tuple means the key has no placement affinity
+        (shuffle grouping routes anywhere), so it never counts as moved.
+        """
+        return ()
+
     # ------------------------------------------------------------------ #
     # hooks for subclasses
     # ------------------------------------------------------------------ #

@@ -44,6 +44,22 @@ class ConsistentGrouping(Partitioner):
         worker = self._ring.lookup(key)
         return RoutingDecision(key=key, worker=worker, candidates=(worker,))
 
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        # The whole point of the ring: joining workers only steal the arcs
+        # of their own virtual nodes, leaving workers only release theirs —
+        # every other key keeps its owner.
+        if new_num_workers > old_num_workers:
+            for worker in range(old_num_workers, new_num_workers):
+                if worker not in self._ring:
+                    self._ring.add_worker(worker)
+        else:
+            for worker in range(new_num_workers, old_num_workers):
+                if worker in self._ring:
+                    self._ring.remove_worker(worker)
+
+    def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
+        return (self._ring.lookup(key),)
+
     # ------------------------------------------------------------------ #
     # elasticity hooks (not used by the paper's experiments, but the whole
     # point of consistent hashing)

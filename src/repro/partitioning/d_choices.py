@@ -208,3 +208,14 @@ class DChoices(HeadTailPartitioner):
         self._messages_at_last_check = 0
         self._never_solved = True
         self._head_signature = (0, 0.0)
+
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        super()._rescale_structures(old_num_workers, new_num_workers)
+        # The cached solution was solved for the old n (and possibly the old
+        # defaulted theta); force a fresh solve at the next head message.
+        self._never_solved = True
+
+    def _head_key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
+        if self._solution.use_w_choices:
+            return tuple(range(self.num_workers))
+        return self._head_candidates(key, max(2, self._solution.num_choices))

@@ -49,6 +49,7 @@ class FixedDHead(HeadTailPartitioner):
             raise ConfigurationError(
                 f"num_choices must be >= 2, got {num_choices}"
             )
+        self._requested_choices = num_choices
         self._num_choices = min(num_choices, num_workers)
 
     @property
@@ -65,3 +66,10 @@ class FixedDHead(HeadTailPartitioner):
     def _select_head_worker(self, key: Key) -> WorkerId:
         candidates = self._head_candidates(key, self._num_choices)
         return self._least_loaded(candidates)
+
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        super()._rescale_structures(old_num_workers, new_num_workers)
+        self._num_choices = min(self._requested_choices, new_num_workers)
+
+    def _head_key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
+        return self._head_candidates(key, self._num_choices)

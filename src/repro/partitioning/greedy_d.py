@@ -38,6 +38,9 @@ class GreedyD(Partitioner):
             raise ConfigurationError(
                 f"num_choices must be >= 1, got {num_choices}"
             )
+        # Remember what the caller asked for so a later grow can lift the
+        # cap again (rescale re-derives the effective d from it).
+        self._requested_choices = num_choices
         if num_choices > num_workers:
             # More choices than workers is pointless: cap at n, which makes
             # the scheme behave (almost) like least-loaded-of-all.
@@ -58,6 +61,17 @@ class GreedyD(Partitioner):
 
     def _select_worker(self, key: Key) -> WorkerId:
         return self._least_loaded(self._hashes.candidates(key, self._num_choices))
+
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        self._num_choices = min(self._requested_choices, new_num_workers)
+        self._hashes = HashFamily(
+            num_functions=self._num_choices,
+            num_buckets=new_num_workers,
+            seed=self.seed,
+        )
+
+    def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
+        return self._hashes.candidates(key, self._num_choices)
 
     def route_batch(
         self, keys: Sequence[Key], head_flags: list[bool] | None = None

@@ -61,6 +61,9 @@ class HeadTailPartitioner(Partitioner):
         warmup_messages: int = 100,
     ) -> None:
         super().__init__(num_workers, seed)
+        # A defaulted theta tracks the worker count (1/(5n)), so a rescale
+        # re-derives it; an explicit theta is the caller's to keep.
+        self._theta_defaulted = theta is None
         if theta is None:
             theta = theta_range(num_workers).default
         if not 0.0 < theta <= 1.0:
@@ -237,6 +240,39 @@ class HeadTailPartitioner(Partitioner):
         reset = getattr(self._sketch, "reset", None)
         if callable(reset):
             reset()
+
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        """Incremental rescale: new hash family, *preserved* head table.
+
+        The hash functions are modulo the worker count, so tail candidate
+        pairs are redrawn; the SpaceSaving sketch, however, is sender-local
+        frequency knowledge that survives a topology change unchanged —
+        throwing it away would force every scheme back through the warmup
+        before heavy hitters are treated specially again.  A defaulted
+        theta is re-derived for the new worker count (its sketch keeps the
+        original capacity; with slack >= 1 that capacity still upper-bounds
+        the head for any larger theta, and a shrink only tightens the
+        estimates, never drops a heavy hitter).
+        """
+        if self._theta_defaulted:
+            self._theta = theta_range(new_num_workers).default
+        self._hashes = HashFamily(
+            num_functions=max(2, new_num_workers),
+            num_buckets=new_num_workers,
+            seed=self.seed,
+        )
+
+    def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
+        """Pure candidate set: head keys via the scheme's head placement,
+        tail keys via the two PKG choices (no sketch mutation)."""
+        if self.is_head(key):
+            return self._head_key_candidates(key)
+        return self._hashes.candidates(key, 2)
+
+    def _head_key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
+        """Pure head candidate set; default is full placement freedom
+        (W-Choices, Round-Robin), schemes with bounded heads override."""
+        return tuple(range(self.num_workers))
 
     # helper for subclasses that need the candidate tuple of d hashes
     def _head_candidates(self, key: Key, num_choices: int) -> tuple[WorkerId, ...]:

@@ -40,6 +40,16 @@ class KeyGrouping(Partitioner):
     def _select_worker(self, key: Key) -> WorkerId:
         return self._hashes.candidates(key, 1)[0]
 
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        # Single-choice modulo hashing has no incremental form: the hash
+        # family is rebuilt and (almost) every key changes owner.
+        self._hashes = HashFamily(
+            num_functions=1, num_buckets=new_num_workers, seed=self.seed
+        )
+
+    def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
+        return self._hashes.candidates(key, 1)
+
     def route_batch(
         self, keys: Sequence[Key], head_flags: list[bool] | None = None
     ) -> list[WorkerId]:

@@ -46,6 +46,16 @@ class PartialKeyGrouping(Partitioner):
         loads = self._state.loads
         return first if loads[first] <= loads[second] else second
 
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        # Both hash functions are modulo the worker count, so a rescale
+        # redraws the candidate pair of (almost) every key.
+        self._hashes = HashFamily(
+            num_functions=2, num_buckets=new_num_workers, seed=self.seed
+        )
+
+    def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
+        return self._hashes.candidates(key, 2)
+
     def route_batch(
         self, keys: Sequence[Key], head_flags: list[bool] | None = None
     ) -> list[WorkerId]:

@@ -42,3 +42,9 @@ class RoundRobinHead(HeadTailPartitioner):
     def reset(self) -> None:
         super().reset()
         self._next_worker = 0
+
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        super()._rescale_structures(old_num_workers, new_num_workers)
+        # Head keys have full placement freedom (the base head candidate
+        # set); only the round-robin cursor must stay in range.
+        self._next_worker %= new_num_workers

@@ -65,3 +65,9 @@ class ShuffleGrouping(Partitioner):
     def reset(self) -> None:
         super().reset()
         self._next = self.seed % self.num_workers
+
+    def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
+        # Round-robin has no key affinity; only the cursor must stay in
+        # range.  key_candidates stays the base "no affinity" empty tuple,
+        # so shuffle-grouped keys never count as moved.
+        self._next %= new_num_workers

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.elasticity.events import RescalePlan, as_plan
 from repro.exceptions import ConfigurationError
 
 #: Default number of sources used throughout the paper's simulations.
@@ -47,6 +48,18 @@ class SimulationConfig:
         (sources are independent; only the hashing is amortised).  1 forces
         the scalar path; the default keeps per-chunk working memory small
         while amortising the vectorized hashing.
+    rescale_plan:
+        Optional elasticity schedule: a
+        :class:`~repro.elasticity.events.RescalePlan` or a spec string like
+        ``"join@5000,leave@12000,fail@15000"`` (normalised to a plan here).
+        Events fire at their global stream offsets; ``num_workers`` is the
+        *initial* worker count.  ``None``/empty reproduces the paper's
+        fixed-worker setting.
+    rescale_policy, migration_window:
+        How spec-string plans are executed ("rehash", "migrate" or
+        "remap") and the transition-window length in tuples (see
+        :mod:`repro.elasticity.policies`); ignored when ``rescale_plan`` is
+        already a :class:`RescalePlan` (which carries its own).
     """
 
     scheme: str
@@ -57,6 +70,9 @@ class SimulationConfig:
     track_interval: int = 0
     track_head_tail: bool = False
     batch_size: int = 1024
+    rescale_plan: RescalePlan | str | None = None
+    rescale_policy: str = "rehash"
+    migration_window: int = 1000
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -75,3 +91,10 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
+        self.rescale_plan = as_plan(
+            self.rescale_plan,
+            policy=self.rescale_policy,
+            migration_window=self.migration_window,
+        )
+        if self.rescale_plan is not None:
+            self.rescale_plan.validate_for(self.num_workers)

@@ -13,14 +13,25 @@ The engine wires together:
 The input stream is distributed over sources round-robin, which models the
 shuffle-grouped edge between the spout and the sources in the evaluation
 setup (Section V-A).
+
+When the configuration carries a rescale plan, the engine replays its
+worker join/leave/fail events at their exact global stream offsets — in the
+batched path by splitting chunks at event boundaries, so batched and scalar
+runs stay byte-identical — applies the plan's policy to every source's
+partitioner, resizes the tracker and the worker-side key state, and feeds a
+:class:`~repro.elasticity.accountant.MigrationCostAccountant` that measures
+keys moved, state migrated/lost and tuples misrouted.
 """
 
 from __future__ import annotations
 
 from itertools import islice
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
-from repro.exceptions import ConfigurationError
+from repro.elasticity.accountant import MigrationCostAccountant
+from repro.elasticity.events import RescaleEvent
+from repro.elasticity.policies import get_policy
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.partitioning.base import Partitioner
 from repro.partitioning.registry import canonical_name, create_partitioner
 from repro.simulation.config import SimulationConfig
@@ -55,6 +66,16 @@ class SimulationEngine:
             set() for _ in range(config.num_workers)
         ]
         self._head_keys: set[Key] = set()
+        # Elasticity: the pending event schedule and the cost accountant
+        # (both None/empty in the paper's fixed-worker setting).
+        plan = config.rescale_plan
+        self._pending_events: list[RescaleEvent] = list(plan.events) if plan else []
+        self._accountant: MigrationCostAccountant | None = None
+        if plan:
+            self._accountant = MigrationCostAccountant(
+                policy=get_policy(plan.policy),
+                migration_window=plan.migration_window,
+            )
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -131,11 +152,17 @@ class SimulationEngine:
         series = self._series
         worker_keys = self._worker_keys
         head_keys = self._head_keys
+        events = self._pending_events
+        accountant = self._accountant
 
         index = 0
         for key in keys:
+            while events and events[0].offset <= index:
+                self._apply_rescale(events.pop(0))
             source = sources[index % num_sources]
             decision = source.route_with_decision(key)
+            if accountant is not None and accountant.window_open:
+                accountant.tick(key)
             tracker.record(decision.worker, is_head=decision.is_head)
             worker_keys[decision.worker].add(key)
             if decision.is_head:
@@ -147,12 +174,8 @@ class SimulationEngine:
     def _run_batched(self, keys: Iterable[Key]) -> int:
         config = self._config
         num_sources = config.num_sources
-        sources = self._sources
-        tracker = self._tracker
-        series = self._series
-        worker_keys = self._worker_keys
-        head_keys = self._head_keys
         chunk_size = config.batch_size * num_sources
+        events = self._pending_events
 
         if hasattr(keys, "iter_batches"):
             chunks: Iterator[list[Key]] = keys.iter_batches(chunk_size)
@@ -164,35 +187,148 @@ class SimulationEngine:
         for chunk in chunks:
             if not chunk:
                 continue
-            # Round-robin split by *global* index, as the scalar loop does;
-            # the shift keeps the mapping right when a chunk boundary (e.g.
-            # from a workload's own iter_batches granularity) is not a
-            # multiple of num_sources.
-            shift = index % num_sources
-            per_source = [
-                chunk[(source - shift) % num_sources :: num_sources]
-                for source in range(num_sources)
-            ]
-            workers = []
-            flags = []
-            for source, source_keys in zip(sources, per_source):
-                source_flags: list[bool] = []
-                workers.append(source.route_batch(source_keys, head_flags=source_flags))
-                flags.append(source_flags)
-            positions = [0] * num_sources
-            for key in chunk:
-                source_index = index % num_sources
-                position = positions[source_index]
-                positions[source_index] = position + 1
-                worker = workers[source_index][position]
-                is_head = flags[source_index][position]
-                tracker.record(worker, is_head=is_head)
-                worker_keys[worker].add(key)
-                if is_head:
-                    head_keys.add(key)
-                series.maybe_record(tracker)
-                index += 1
+            # Split the chunk at rescale-event boundaries: every message
+            # with a global index >= an event's offset must be routed by
+            # the post-event topology, exactly as in the scalar loop.
+            position = 0
+            remaining = len(chunk)
+            while remaining:
+                while events and events[0].offset <= index:
+                    self._apply_rescale(events.pop(0))
+                if events:
+                    span = min(remaining, events[0].offset - index)
+                else:
+                    span = remaining
+                if position == 0 and span == len(chunk):
+                    part: Sequence[Key] = chunk
+                else:
+                    part = chunk[position : position + span]
+                self._route_span(part, index)
+                index += span
+                position += span
+                remaining -= span
         return index
+
+    def _route_span(self, part: Sequence[Key], index: int) -> None:
+        """Route one event-free span of the stream through all sources."""
+        num_sources = self._config.num_sources
+        sources = self._sources
+        tracker = self._tracker
+        series = self._series
+        worker_keys = self._worker_keys
+        head_keys = self._head_keys
+        accountant = self._accountant
+
+        # Round-robin split by *global* index, as the scalar loop does;
+        # the shift keeps the mapping right when a span boundary (from a
+        # workload's own iter_batches granularity, or from a rescale event
+        # splitting the chunk) is not a multiple of num_sources.
+        shift = index % num_sources
+        per_source = [
+            part[(source - shift) % num_sources :: num_sources]
+            for source in range(num_sources)
+        ]
+        workers = []
+        flags = []
+        for source, source_keys in zip(sources, per_source):
+            source_flags: list[bool] = []
+            workers.append(source.route_batch(source_keys, head_flags=source_flags))
+            flags.append(source_flags)
+        positions = [0] * num_sources
+        for key in part:
+            source_index = index % num_sources
+            position = positions[source_index]
+            positions[source_index] = position + 1
+            worker = workers[source_index][position]
+            is_head = flags[source_index][position]
+            if accountant is not None and accountant.window_open:
+                accountant.tick(key)
+            tracker.record(worker, is_head=is_head)
+            worker_keys[worker].add(key)
+            if is_head:
+                head_keys.add(key)
+            series.maybe_record(tracker)
+            index += 1
+
+    # ------------------------------------------------------------------ #
+    # elasticity
+    # ------------------------------------------------------------------ #
+    def _apply_rescale(self, event: RescaleEvent) -> None:
+        """Apply one worker join/leave/fail to every layer of the run.
+
+        Steps, in order: snapshot each observed key's candidate set, apply
+        the plan's policy to every source partitioner, resize the global
+        tracker and the worker-side key state, re-snapshot candidates and
+        charge the accountant with the keys that moved, the state entries
+        that migrated (or died with a failed worker) and — for policies
+        with a transition window — open the misroute window.
+        """
+        accountant = self._accountant
+        assert accountant is not None  # only called when a plan exists
+        sources = self._sources
+        old_num_workers = sources[0].num_workers
+        new_num_workers = event.new_num_workers(old_num_workers)
+        if new_num_workers < 1:  # validated at config time; defensive here
+            raise SimulationError(
+                f"rescale event {event.spec} would drop below 1 worker"
+            )
+        record = accountant.begin_event(event, old_num_workers, new_num_workers)
+
+        # All sources share the hashing seed, so one probe suffices to
+        # observe candidate assignments (SG reports no affinity).
+        probe = sources[0]
+        worker_keys = self._worker_keys
+        observed: set[Key] = set().union(*worker_keys) if worker_keys else set()
+        before = {key: frozenset(probe.key_candidates(key)) for key in observed}
+
+        policy = accountant.policy
+        for source in sources:
+            policy.apply(source, new_num_workers)
+        self._tracker.rescale(new_num_workers)
+
+        removed_entries = 0
+        if new_num_workers > old_num_workers:
+            worker_keys.extend(
+                set() for _ in range(new_num_workers - old_num_workers)
+            )
+        else:
+            for _ in range(old_num_workers - new_num_workers):
+                removed_entries += len(worker_keys[-1])
+                worker_keys.pop()
+
+        after = {key: frozenset(probe.key_candidates(key)) for key in observed}
+        moved = frozenset(
+            key for key in observed if before[key] and before[key] != after[key]
+        )
+        # State of moved keys still held on surviving workers must be handed
+        # to the keys' new candidates; the departing worker's entries are
+        # handed off on a graceful leave and lost on a failure.
+        entries_migrated = sum(
+            1
+            for keys_on_worker in worker_keys
+            for key in keys_on_worker
+            if key in moved
+        )
+        entries_lost = 0
+        if new_num_workers < old_num_workers:
+            if event.loses_state:
+                entries_lost = removed_entries
+            else:
+                entries_migrated += removed_entries
+
+        head_keys_preserved = 0
+        if policy.preserves_sender_state:
+            current_head = getattr(probe, "current_head", None)
+            if callable(current_head):
+                head_keys_preserved = len(current_head())
+
+        accountant.finish_event(
+            record,
+            moved_keys=moved,
+            entries_migrated=entries_migrated,
+            entries_lost=entries_lost,
+            head_keys_preserved=head_keys_preserved,
+        )
 
     def _build_result(self, num_messages: int) -> SimulationResult:
         tracker = self._tracker
@@ -202,7 +338,7 @@ class SimulationEngine:
         memory_entries = sum(len(keys) for keys in self._worker_keys)
         return SimulationResult(
             scheme=self._scheme,
-            num_workers=self._config.num_workers,
+            num_workers=tracker.num_workers,
             num_sources=self._config.num_sources,
             num_messages=num_messages,
             final_imbalance=tracker.imbalance(),
@@ -215,4 +351,7 @@ class SimulationEngine:
             time_series=self._series if self._series.times else None,
             memory_entries=memory_entries,
             head_key_count=len(self._head_keys),
+            migration=(
+                self._accountant.report() if self._accountant is not None else None
+            ),
         )

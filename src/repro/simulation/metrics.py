@@ -38,6 +38,7 @@ class LoadTracker:
         self._track_head_tail = track_head_tail
         self._head_loads = [0] * num_workers if track_head_tail else None
         self._total = 0
+        self._messages_seen = 0
 
     @property
     def num_workers(self) -> int:
@@ -45,7 +46,21 @@ class LoadTracker:
 
     @property
     def total_messages(self) -> int:
+        """Messages currently in the load picture (the imbalance denominator).
+
+        Decreases when a rescale retires workers — their handled messages
+        leave the picture.  Use :attr:`messages_seen` for stream positions.
+        """
         return self._total
+
+    @property
+    def messages_seen(self) -> int:
+        """Monotonic count of every message ever recorded (stream position).
+
+        Unlike :attr:`total_messages` this never decreases on a rescale, so
+        it is the correct time axis for :class:`ImbalanceTimeSeries`.
+        """
+        return self._messages_seen
 
     @property
     def loads(self) -> list[int]:
@@ -60,8 +75,37 @@ class LoadTracker:
             )
         self._loads[worker] += 1
         self._total += 1
+        self._messages_seen += 1
         if self._head_loads is not None and is_head:
             self._head_loads[worker] += 1
+
+    def rescale(self, new_num_workers: int) -> None:
+        """Resize the tracked worker set (workers are ``0 .. n-1``).
+
+        Growing appends zero counters; shrinking drops the counters of the
+        removed (highest-id) workers — the messages a departed worker
+        handled leave the load picture, so the imbalance is always measured
+        over the *currently active* workers, which is what an elasticity
+        trajectory should show.
+        """
+        if new_num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {new_num_workers}"
+            )
+        old_num_workers = self._num_workers
+        if new_num_workers == old_num_workers:
+            return
+        self._num_workers = new_num_workers
+        if new_num_workers > old_num_workers:
+            extra = new_num_workers - old_num_workers
+            self._loads.extend([0] * extra)
+            if self._head_loads is not None:
+                self._head_loads.extend([0] * extra)
+        else:
+            self._total -= sum(self._loads[new_num_workers:])
+            del self._loads[new_num_workers:]
+            if self._head_loads is not None:
+                del self._head_loads[new_num_workers:]
 
     # ------------------------------------------------------------------ #
     # derived metrics
@@ -111,17 +155,22 @@ class ImbalanceTimeSeries:
     values: list[float] = field(default_factory=list)
 
     def maybe_record(self, tracker: LoadTracker) -> None:
-        """Record a sample if the tracker just crossed an interval boundary."""
+        """Record a sample if the tracker just crossed an interval boundary.
+
+        The time axis is :attr:`LoadTracker.messages_seen` — the monotonic
+        stream position — so samples stay correctly placed even when a
+        rescale shrinks the load total.
+        """
         if self.interval <= 0:
             return
-        if tracker.total_messages % self.interval == 0 and tracker.total_messages > 0:
-            self.times.append(tracker.total_messages)
+        if tracker.messages_seen % self.interval == 0 and tracker.messages_seen > 0:
+            self.times.append(tracker.messages_seen)
             self.values.append(tracker.imbalance())
 
     def final(self, tracker: LoadTracker) -> None:
         """Append the final imbalance if not already sampled."""
-        if not self.times or self.times[-1] != tracker.total_messages:
-            self.times.append(tracker.total_messages)
+        if not self.times or self.times[-1] != tracker.messages_seen:
+            self.times.append(tracker.messages_seen)
             self.values.append(tracker.imbalance())
 
     @property

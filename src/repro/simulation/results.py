@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.elasticity.accountant import MigrationReport
 from repro.simulation.metrics import ImbalanceTimeSeries
 
 
@@ -35,6 +36,10 @@ class SimulationResult:
         i.e. the worker-side memory of Section IV-B measured empirically.
     head_key_count:
         Number of distinct keys ever routed through the head path.
+    migration:
+        Migration-cost report of the run's rescale plan (``None`` in the
+        fixed-worker setting).  When a plan shrank the cluster,
+        ``num_workers``/``worker_loads`` describe the *final* worker set.
     """
 
     scheme: str
@@ -49,6 +54,7 @@ class SimulationResult:
     time_series: ImbalanceTimeSeries | None = None
     memory_entries: int = 0
     head_key_count: int = 0
+    migration: MigrationReport | None = None
 
     @property
     def normalized_loads(self) -> list[float]:
@@ -64,7 +70,7 @@ class SimulationResult:
 
     def summary(self) -> dict[str, object]:
         """A flat dictionary convenient for tabular reporting."""
-        return {
+        row: dict[str, object] = {
             "scheme": self.scheme,
             "workers": self.num_workers,
             "sources": self.num_sources,
@@ -75,3 +81,6 @@ class SimulationResult:
             "memory_entries": self.memory_entries,
             "head_keys": self.head_key_count,
         }
+        if self.migration is not None:
+            row.update(self.migration.summary())
+        return row

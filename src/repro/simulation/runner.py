@@ -21,6 +21,9 @@ def run_simulation(
     track_interval: int = 0,
     track_head_tail: bool = False,
     batch_size: int = 1024,
+    rescale_plan: Any = None,
+    rescale_policy: str = "rehash",
+    migration_window: int = 1000,
 ) -> SimulationResult:
     """Run one grouping scheme over one workload and return the result.
 
@@ -35,6 +38,12 @@ def run_simulation(
     ``batch_size`` controls the routing fast path (see
     :class:`~repro.simulation.config.SimulationConfig`); results are
     independent of its value — 1 forces scalar routing.
+
+    ``rescale_plan`` (a :class:`~repro.elasticity.events.RescalePlan` or a
+    spec string like ``"join@5000,fail@15000"``) makes workers join, leave
+    or fail mid-stream; ``rescale_policy`` and ``migration_window`` choose
+    how spec-string plans are executed.  The returned result then carries a
+    :class:`~repro.elasticity.accountant.MigrationReport` in ``.migration``.
     """
     config = SimulationConfig(
         scheme=scheme,
@@ -45,6 +54,9 @@ def run_simulation(
         track_interval=track_interval,
         track_head_tail=track_head_tail,
         batch_size=batch_size,
+        rescale_plan=rescale_plan,
+        rescale_policy=rescale_policy,
+        migration_window=migration_window,
     )
     engine = SimulationEngine(config)
     # Pass the workload itself (not iter(workload)) so the batched path can

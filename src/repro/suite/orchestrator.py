@@ -158,7 +158,19 @@ def _record_outcome(
         result=payload["result"],
         elapsed_seconds=payload["elapsed"],
     )
-    path = store.save(record)
+    try:
+        path = store.save(record)
+    except PermissionError as exc:
+        # A results dir created with a different umask/owner rejects the
+        # atomic rename; that is this cell's failure, not the suite's.
+        return CellOutcome(
+            experiment_id=experiment_id,
+            scale=scale,
+            fingerprint=fingerprint,
+            status="failed",
+            elapsed_seconds=payload["elapsed"],
+            error=f"results store write failed: {exc}",
+        )
     return CellOutcome(
         experiment_id=experiment_id,
         scale=scale,

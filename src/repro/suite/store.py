@@ -148,12 +148,26 @@ class ResultsStore:
         return record
 
     def save(self, record: ResultRecord) -> Path:
-        """Persist a record atomically (write-to-temp + rename)."""
+        """Persist a record atomically (write-to-temp + rename).
+
+        Raises whatever the filesystem raises (``PermissionError`` on a
+        results dir created with a restrictive umask, ``OSError`` on a full
+        disk ...) after cleaning up the temporary file; the orchestrator
+        turns that into a per-cell failure instead of sinking the whole
+        suite run.
+        """
         path = self.path_for(record.experiment_id, record.scale, record.fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         temporary = path.with_suffix(f".tmp.{os.getpid()}")
         temporary.write_text(record.to_json(), encoding="utf-8")
-        os.replace(temporary, path)
+        try:
+            os.replace(temporary, path)
+        except OSError:
+            try:
+                temporary.unlink()
+            except OSError:
+                pass  # the temp file is unreachable too; nothing to clean
+            raise
         return path
 
     def iter_records(self) -> Iterator[ResultRecord]:

@@ -1,0 +1,97 @@
+"""Unit tests for the bench-guard comparison logic."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def guard():
+    """Import benchmarks/check_bench_regression.py as a module."""
+    path = REPO_ROOT / "benchmarks" / "check_bench_regression.py"
+    spec = importlib.util.spec_from_file_location("check_bench_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+BASELINE = {
+    "PKG": {"batch_msgs_per_sec": 1_000_000, "scalar_msgs_per_sec": 100_000},
+    "KG": {"batch_msgs_per_sec": 2_000_000},
+    "_meta": {"python": "3.12"},
+}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, guard):
+        current = {"PKG": {"batch_msgs_per_sec": 750_000}}
+        assert guard.compare(BASELINE, current, schemes=["PKG"]) == []
+
+    def test_regression_fails(self, guard):
+        current = {"PKG": {"batch_msgs_per_sec": 600_000}}
+        failures = guard.compare(BASELINE, current, schemes=["PKG"])
+        assert len(failures) == 1 and "PKG" in failures[0]
+
+    def test_faster_never_fails(self, guard):
+        current = {"PKG": {"batch_msgs_per_sec": 5_000_000}}
+        assert guard.compare(BASELINE, current, schemes=["PKG"]) == []
+
+    def test_explicitly_guarded_scheme_must_exist(self, guard):
+        # A guard told to watch PKG that cannot find PKG has failed, not
+        # passed vacuously.
+        failures = guard.compare(BASELINE, {}, schemes=["PKG"])
+        assert len(failures) == 1 and "PKG" in failures[0]
+        failures = guard.compare({}, {"PKG": {"batch_msgs_per_sec": 1}}, schemes=["PKG"])
+        assert len(failures) == 1
+
+    def test_whole_baseline_mode_skips_missing_schemes(self, guard):
+        # Without --schemes the two files may cover different sets; only
+        # the intersection is compared.
+        failures = guard.compare(BASELINE, {"PKG": {"batch_msgs_per_sec": 999_000}})
+        assert failures == []  # KG missing from current: skipped, not failed
+
+    def test_meta_entries_ignored_by_default(self, guard):
+        current = {
+            "PKG": {"batch_msgs_per_sec": 900_000},
+            "KG": {"batch_msgs_per_sec": 1_900_000},
+        }
+        assert guard.compare(BASELINE, current) == []
+
+    def test_custom_threshold(self, guard):
+        current = {"PKG": {"batch_msgs_per_sec": 900_000}}
+        assert guard.compare(BASELINE, current, threshold=0.05, schemes=["PKG"])
+
+
+class TestMain:
+    def test_exit_codes(self, guard, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(BASELINE))
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"PKG": {"batch_msgs_per_sec": 990_000}}))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"PKG": {"batch_msgs_per_sec": 100_000}}))
+
+        ok = guard.main([
+            "--baseline", str(baseline_path), "--current", str(good),
+            "--schemes", "PKG",
+        ])
+        assert ok == 0
+        failed = guard.main([
+            "--baseline", str(baseline_path), "--current", str(bad),
+            "--schemes", "PKG",
+        ])
+        assert failed == 1
+
+    def test_committed_baseline_is_valid_guard_input(self, guard):
+        baseline = json.loads(
+            (REPO_ROOT / "BENCH_routing.json").read_text(encoding="utf-8")
+        )
+        # Guarding the baseline against itself must always pass.
+        assert guard.compare(baseline, baseline) == []

@@ -1,0 +1,120 @@
+"""Dry validation of the GitHub Actions workflows.
+
+The container running the tier-1 suite has no GitHub runner (nor ``act``),
+so this is the executable substitute: parse both workflow files, assert the
+invariants docs/ci.md promises (job set, interpreter matrix, suite smoke,
+bench guard wiring), and check that every repo path a job invokes actually
+exists.  Editing a workflow out of sync with the docs/policy fails here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+WORKFLOWS = REPO_ROOT / ".github" / "workflows"
+
+
+def _load(name: str) -> dict:
+    path = WORKFLOWS / name
+    assert path.is_file(), f"missing workflow {path}"
+    document = yaml.safe_load(path.read_text(encoding="utf-8"))
+    assert isinstance(document, dict), f"{name} is not a mapping"
+    return document
+
+
+def _job_commands(job: dict) -> str:
+    return "\n".join(
+        step.get("run", "") for step in job.get("steps", []) if "run" in step
+    )
+
+
+@pytest.fixture(scope="module")
+def ci() -> dict:
+    return _load("ci.yml")
+
+
+@pytest.fixture(scope="module")
+def bench() -> dict:
+    return _load("bench.yml")
+
+
+class TestCiWorkflow:
+    def test_triggers_on_push_and_pull_request(self, ci):
+        # YAML 1.1 parses the bare key `on` as boolean True.
+        triggers = ci.get("on", ci.get(True))
+        assert "push" in triggers and "pull_request" in triggers
+
+    def test_has_lint_tests_and_suite_smoke_jobs(self, ci):
+        assert {"lint", "tests", "suite-smoke"} <= set(ci["jobs"])
+
+    def test_lint_runs_ruff_over_all_source_trees(self, ci):
+        commands = _job_commands(ci["jobs"]["lint"])
+        assert "ruff check" in commands
+        for tree in ("src", "tests", "benchmarks", "examples"):
+            assert tree in commands
+
+    def test_tests_matrix_covers_310_to_312(self, ci):
+        matrix = ci["jobs"]["tests"]["strategy"]["matrix"]["python-version"]
+        assert [str(version) for version in matrix] == ["3.10", "3.11", "3.12"]
+
+    def test_tests_install_editable_and_run_tier1(self, ci):
+        commands = _job_commands(ci["jobs"]["tests"])
+        assert "pip install -e .[test]" in commands
+        assert "pytest -x -q" in commands
+        assert "PYTHONPATH" not in commands  # the editable install suffices
+
+    def test_suite_smoke_runs_tiny_scale_twice(self, ci):
+        commands = _job_commands(ci["jobs"]["suite-smoke"])
+        assert commands.count("suite run --scale tiny") >= 2
+        # The warm run must fail on recomputed or failed cells.
+        assert "computed|failed" in commands
+
+
+class TestBenchWorkflow:
+    def test_nightly_and_on_demand(self, bench):
+        triggers = bench.get("on", bench.get(True))
+        assert "workflow_dispatch" in triggers
+        assert "schedule" in triggers
+        assert triggers["schedule"][0]["cron"]
+
+    def test_runs_reduced_scale_bench(self, bench):
+        commands = _job_commands(bench["jobs"]["routing-bench"])
+        assert "run_routing_bench.py" in commands
+        assert "--messages" in commands and "--rounds" in commands
+
+    def test_uploads_artifact(self, bench):
+        steps = bench["jobs"]["routing-bench"]["steps"]
+        uploads = [
+            step for step in steps
+            if "upload-artifact" in str(step.get("uses", ""))
+        ]
+        assert uploads, "bench guard must upload the measured JSON"
+
+    def test_guards_batched_pkg_at_30_percent(self, bench):
+        commands = _job_commands(bench["jobs"]["routing-bench"])
+        assert "check_bench_regression.py" in commands
+        assert "--threshold 0.30" in commands
+        assert "--schemes PKG" in commands
+        # Must guard the hardware-independent ratio, not absolute msg/s
+        # (the baseline is committed from different hardware).
+        assert "--metric batch_speedup" in commands
+
+
+class TestReferencedPathsExist:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "benchmarks/run_routing_bench.py",
+            "benchmarks/check_bench_regression.py",
+            "BENCH_routing.json",
+            "pyproject.toml",
+            "docs/ci.md",
+        ],
+    )
+    def test_path_exists(self, path):
+        assert (REPO_ROOT / path).exists(), f"workflow references missing {path}"

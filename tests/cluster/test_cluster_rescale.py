@@ -1,0 +1,106 @@
+"""Rescale-event replay on the discrete-event cluster simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.latency import LatencyCollector
+from repro.cluster.topology import ClusterTopology
+from repro.exceptions import ConfigurationError
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+def _topology(**overrides):
+    parameters = dict(
+        scheme="PKG",
+        num_sources=4,
+        num_workers=8,
+        source_overhead_ms=0.5,
+        service_time_ms=1.0,
+        seed=2,
+    )
+    parameters.update(overrides)
+    return ClusterTopology(**parameters)
+
+
+def _workload(messages: int = 12_000):
+    return ZipfWorkload(1.3, 1_000, messages, seed=1)
+
+
+class TestTopologyValidation:
+    def test_spec_normalised(self):
+        topology = _topology(rescale_plan="join@100,fail@200")
+        assert topology.rescale_plan.spec == "join@100,fail@200"
+
+    def test_shrink_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _topology(num_workers=1, rescale_plan="fail@10")
+
+
+class TestClusterRescale:
+    def test_events_replayed_and_counted(self):
+        engine = ClusterEngine(
+            _topology(rescale_plan="join@2000,leave@5000,fail@8000")
+        )
+        result = engine.run(_workload())
+        assert result.rescale_events == 3
+        assert len(result.worker_utilization) == 7  # 8 + 1 - 1 - 1
+        assert result.num_messages == 12_000
+
+    def test_leave_drains_fail_loses(self):
+        drained = ClusterEngine(
+            _topology(rescale_plan="leave@6000")
+        ).run(_workload())
+        lost = ClusterEngine(
+            _topology(rescale_plan="fail@6000")
+        ).run(_workload())
+        assert drained.messages_drained > 0
+        assert drained.messages_lost == 0
+        assert lost.messages_lost > 0
+        assert lost.messages_drained == 0
+
+    def test_join_only_adds_capacity(self):
+        result = ClusterEngine(_topology(rescale_plan="join@3000")).run(_workload())
+        assert result.rescale_events == 1
+        assert len(result.worker_utilization) == 9
+        assert result.messages_drained == result.messages_lost == 0
+
+    def test_summary_includes_rescale_columns_only_when_used(self):
+        static = ClusterEngine(_topology()).run(_workload(4_000))
+        elastic = ClusterEngine(
+            _topology(rescale_plan="join@1000")
+        ).run(_workload(4_000))
+        assert "rescale_events" not in static.summary()
+        assert elastic.summary()["rescale_events"] == 1
+
+    def test_deterministic_across_runs(self):
+        def run():
+            return ClusterEngine(
+                _topology(rescale_plan="join@2000,fail@7000")
+            ).run(_workload())
+
+        first, second = run(), run()
+        assert first.summary() == second.summary()
+
+
+class TestLatencyCollectorRescale:
+    def test_retired_samples_stay_in_stats(self):
+        collector = LatencyCollector(2)
+        collector.record(0, 10.0)
+        collector.record(1, 50.0)
+        collector.rescale(1)  # retire worker 1
+        collector.record(0, 10.0)
+        stats = collector.stats()
+        assert stats.samples == 3
+        assert stats.max_average == pytest.approx(50.0)
+
+    def test_grow_adds_buckets(self):
+        collector = LatencyCollector(1)
+        collector.rescale(3)
+        collector.record(2, 5.0)
+        assert collector.stats().samples == 1
+
+    def test_rescale_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyCollector(2).rescale(0)

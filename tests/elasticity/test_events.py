@@ -1,0 +1,105 @@
+"""Tests for rescale events, spec parsing and plan semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elasticity.events import (
+    RescalePlan,
+    WorkerFail,
+    WorkerJoin,
+    WorkerLeave,
+    as_plan,
+    parse_event,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestEventParsing:
+    def test_parse_each_kind(self):
+        assert parse_event("join@5000") == WorkerJoin(offset=5000)
+        assert parse_event("leave@12000") == WorkerLeave(offset=12000)
+        assert parse_event("fail@15000") == WorkerFail(offset=15000)
+
+    def test_parse_is_case_and_whitespace_tolerant(self):
+        assert parse_event("  JOIN@7 ") == WorkerJoin(offset=7)
+
+    @pytest.mark.parametrize(
+        "spec", ["join", "@5", "grow@5", "join@", "join@x", "join@-1"]
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_event(spec)
+
+    def test_event_spec_round_trips(self):
+        event = parse_event("fail@31337")
+        assert parse_event(event.spec) == event
+
+    def test_new_num_workers(self):
+        assert WorkerJoin(offset=0).new_num_workers(10) == 11
+        assert WorkerLeave(offset=0).new_num_workers(10) == 9
+        assert WorkerFail(offset=0).new_num_workers(10) == 9
+
+    def test_only_fail_loses_state(self):
+        assert WorkerFail(offset=0).loses_state
+        assert not WorkerLeave(offset=0).loses_state
+        assert not WorkerJoin(offset=0).loses_state
+
+    def test_base_class_and_unknown_kinds_rejected(self):
+        from repro.elasticity.events import RescaleEvent
+
+        with pytest.raises(ConfigurationError):
+            RescaleEvent(offset=5)  # kind "" — must use a concrete subclass
+        with pytest.raises(ConfigurationError):
+            RescaleEvent(offset=5, kind="teleport")
+
+
+class TestRescalePlan:
+    def test_parse_multi_event_spec(self):
+        plan = RescalePlan.parse("join@5000,leave@12000,fail@15000")
+        assert [event.kind for event in plan.events] == ["join", "leave", "fail"]
+        assert plan.spec == "join@5000,leave@12000,fail@15000"
+
+    def test_events_sorted_by_offset(self):
+        plan = RescalePlan.parse("fail@300,join@100,leave@200")
+        assert [event.offset for event in plan.events] == [100, 200, 300]
+
+    def test_empty_spec_is_falsy(self):
+        assert not RescalePlan.parse("")
+        assert len(RescalePlan.parse("")) == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RescalePlan.parse("join@1", policy="teleport")
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RescalePlan.parse("join@1", migration_window=-1)
+
+    def test_workers_at_walks_the_trajectory(self):
+        plan = RescalePlan.parse("join@100,join@200,leave@300")
+        assert plan.workers_at(0, 10) == 10
+        assert plan.workers_at(99, 10) == 10
+        assert plan.workers_at(100, 10) == 11  # fires before message 100
+        assert plan.workers_at(250, 10) == 12
+        assert plan.workers_at(10_000, 10) == 11
+
+    def test_trajectory_points(self):
+        plan = RescalePlan.parse("join@100,fail@300")
+        assert plan.trajectory(10) == [(100, 11), (300, 10)]
+
+    def test_validate_for_rejects_shrink_below_one(self):
+        plan = RescalePlan.parse("leave@10,fail@20")
+        plan.validate_for(5)  # fine
+        with pytest.raises(ConfigurationError):
+            plan.validate_for(2)
+
+    def test_as_plan_normalisation(self):
+        assert as_plan(None) is None
+        assert as_plan("") is None
+        plan = RescalePlan.parse("join@1")
+        assert as_plan(plan) is plan
+        parsed = as_plan("join@1,fail@2", policy="migrate", migration_window=7)
+        assert parsed is not None
+        assert parsed.policy == "migrate"
+        assert parsed.migration_window == 7

@@ -1,0 +1,139 @@
+"""Tests for rescale policies and the migration-cost accountant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elasticity.accountant import MigrationCostAccountant
+from repro.elasticity.events import WorkerFail, WorkerJoin
+from repro.elasticity.policies import POLICY_NAMES, get_policy
+from repro.exceptions import ConfigurationError
+from repro.partitioning.registry import create_partitioner
+
+
+class TestPolicyRegistry:
+    def test_canonical_names(self):
+        assert POLICY_NAMES == ("rehash", "migrate", "remap")
+
+    def test_lookup_case_insensitive(self):
+        assert get_policy("REHASH").name == "rehash"
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            get_policy("nope")
+
+    def test_windows(self):
+        assert get_policy("rehash").misroute_window(500) == 0
+        assert get_policy("migrate").misroute_window(500) == 500
+        assert get_policy("remap").misroute_window(500) == 0
+
+
+class TestPolicyApply:
+    def _warm_dchoices(self, num_workers: int = 8):
+        partitioner = create_partitioner(
+            "D-C", num_workers=num_workers, seed=1, warmup_messages=0
+        )
+        for _ in range(300):
+            partitioner.route("hot")
+            partitioner.route("warm")
+        return partitioner
+
+    def test_rehash_resets_sender_state(self):
+        partitioner = self._warm_dchoices()
+        get_policy("rehash").apply(partitioner, 9)
+        assert partitioner.num_workers == 9
+        assert partitioner.local_loads == [0] * 9
+        assert partitioner.sketch.total == 0  # head table discarded
+
+    @pytest.mark.parametrize("policy", ["migrate", "remap"])
+    def test_incremental_policies_preserve_sender_state(self, policy):
+        partitioner = self._warm_dchoices()
+        routed_before = partitioner.messages_routed
+        head_before = set(partitioner.current_head())
+        get_policy(policy).apply(partitioner, 9)
+        assert partitioner.num_workers == 9
+        assert sum(partitioner.local_loads) == routed_before
+        assert set(partitioner.current_head()) == head_before  # head preserved
+
+    def test_shrink_drops_highest_worker_loads(self):
+        partitioner = create_partitioner("PKG", num_workers=4, seed=0)
+        for index in range(400):
+            partitioner.route(f"k{index % 40}")
+        loads = partitioner.local_loads
+        get_policy("migrate").apply(partitioner, 3)
+        assert partitioner.local_loads == loads[:3]
+
+
+class TestAccountant:
+    def test_event_records_and_totals(self):
+        accountant = MigrationCostAccountant(
+            get_policy("migrate"), migration_window=4, state_bytes_per_entry=10
+        )
+        record = accountant.begin_event(WorkerJoin(offset=5), 4, 5)
+        accountant.finish_event(
+            record,
+            moved_keys=frozenset({"a", "b"}),
+            entries_migrated=3,
+            entries_lost=0,
+            head_keys_preserved=1,
+        )
+        # Window of 4 tuples: two hit moved keys, two do not.
+        for key in ("a", "x", "b", "y"):
+            assert accountant.window_open
+            accountant.tick(key)
+        assert not accountant.window_open  # window exhausted
+
+        report = accountant.report()
+        assert report.keys_moved == 2
+        assert report.entries_migrated == 3
+        assert report.bytes_migrated == 30
+        assert report.tuples_misrouted == 2
+        assert report.events[0].misroute_window == 4
+        assert report.events[0].head_keys_preserved == 1
+
+    def test_no_window_for_rehash(self):
+        accountant = MigrationCostAccountant(
+            get_policy("rehash"), migration_window=100
+        )
+        record = accountant.begin_event(WorkerFail(offset=9), 5, 4)
+        accountant.finish_event(
+            record,
+            moved_keys=frozenset({"a"}),
+            entries_migrated=0,
+            entries_lost=7,
+            head_keys_preserved=0,
+        )
+        assert not accountant.window_open
+        assert accountant.report().entries_lost == 7
+
+    def test_newer_event_supersedes_open_window(self):
+        accountant = MigrationCostAccountant(
+            get_policy("migrate"), migration_window=100
+        )
+        first = accountant.begin_event(WorkerJoin(offset=0), 4, 5)
+        accountant.finish_event(
+            first, frozenset({"a"}), entries_migrated=0, entries_lost=0,
+            head_keys_preserved=0,
+        )
+        accountant.tick("a")
+        second = accountant.begin_event(WorkerJoin(offset=10), 5, 6)
+        accountant.finish_event(
+            second, frozenset({"b"}), entries_migrated=0, entries_lost=0,
+            head_keys_preserved=0,
+        )
+        accountant.tick("a")  # old moved key: no longer counted
+        accountant.tick("b")
+        report = accountant.report()
+        assert report.events[0].tuples_misrouted == 1
+        assert report.events[1].tuples_misrouted == 1
+
+    def test_report_serialises(self):
+        accountant = MigrationCostAccountant(get_policy("remap"))
+        record = accountant.begin_event(WorkerJoin(offset=1), 2, 3)
+        accountant.finish_event(
+            record, frozenset(), entries_migrated=0, entries_lost=0,
+            head_keys_preserved=0,
+        )
+        payload = accountant.report().to_dict()
+        assert payload["rescale_policy"] == "remap"
+        assert payload["events"][0]["kind"] == "join"

@@ -1,0 +1,56 @@
+"""Smoke test: every example script must run end-to-end at tiny scale.
+
+Examples rot silently — they import public API the tests may not cover and
+nothing else executes them.  This test runs each ``examples/*.py`` as a real
+subprocess (the way a reader would) with ``REPRO_EXAMPLE_MESSAGES`` shrunk
+so the whole parametrized set stays CI-sized.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Tiny but large enough that head/tail schemes pass their warmup and the
+#: cluster example produces meaningful percentiles.
+SMOKE_MESSAGES = "3000"
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 5, f"expected example scripts under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_at_tiny_scale(script: Path):
+    environment = dict(os.environ)
+    environment["REPRO_EXAMPLE_MESSAGES"] = SMOKE_MESSAGES
+    # Keep the subprocess importable both from a PYTHONPATH=src checkout
+    # and from an editable install.
+    source_path = str(REPO_ROOT / "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = (
+        source_path if not existing else f"{source_path}{os.pathsep}{existing}"
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=environment,
+        cwd=REPO_ROOT,
+        timeout=180,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited {completed.returncode}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

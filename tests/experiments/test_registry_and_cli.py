@@ -22,6 +22,8 @@ EXPECTED_EXPERIMENTS = {
     "fig12",
     "fig13",
     "fig14",
+    "fig15",
+    "fig16",
     "table1",
 }
 

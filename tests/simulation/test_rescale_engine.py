@@ -1,0 +1,150 @@
+"""Engine-level behaviour of rescale plans (tracker, memory, accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elasticity.events import RescalePlan
+from repro.exceptions import ConfigurationError
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import LoadTracker
+from repro.simulation.runner import run_simulation
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+def _workload(messages: int = 20_000):
+    return ZipfWorkload(1.4, 2_000, messages, seed=2)
+
+
+class TestLoadTrackerRescale:
+    def test_grow_appends_zero(self):
+        tracker = LoadTracker(3)
+        for worker in (0, 1, 2, 0):
+            tracker.record(worker)
+        tracker.rescale(5)
+        assert tracker.loads == [2, 1, 1, 0, 0]
+        assert tracker.total_messages == 4
+
+    def test_shrink_drops_counts_from_total(self):
+        tracker = LoadTracker(3, track_head_tail=True)
+        for worker in (0, 1, 2, 2):
+            tracker.record(worker, is_head=worker == 2)
+        tracker.rescale(2)
+        assert tracker.loads == [1, 1]
+        assert tracker.total_messages == 2
+        head, tail = tracker.head_tail_split()
+        assert head == [0, 0]
+
+    def test_rescale_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadTracker(2).rescale(0)
+
+
+class TestConfigValidation:
+    def test_plan_spec_normalised_to_plan(self):
+        config = SimulationConfig(
+            scheme="PKG", num_workers=5, rescale_plan="join@10,fail@20",
+            rescale_policy="migrate",
+        )
+        assert isinstance(config.rescale_plan, RescalePlan)
+        assert config.rescale_plan.policy == "migrate"
+
+    def test_plan_shrinking_below_one_rejected_at_config_time(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                scheme="PKG", num_workers=1, rescale_plan="leave@10"
+            )
+
+    def test_empty_plan_is_none(self):
+        config = SimulationConfig(scheme="PKG", num_workers=5, rescale_plan="")
+        assert config.rescale_plan is None
+
+
+class TestEngineRescale:
+    def test_final_topology_reflected_in_result(self):
+        result = run_simulation(
+            _workload(), scheme="PKG", num_workers=10,
+            rescale_plan="join@2000,join@5000,leave@9000",
+        )
+        assert result.num_workers == 11
+        assert len(result.worker_loads) == 11
+        assert result.migration is not None
+        assert result.migration.events_applied == 3
+
+    def test_fail_loses_state_leave_hands_it_off(self):
+        leave = run_simulation(
+            _workload(), scheme="PKG", num_workers=10,
+            rescale_plan="leave@10000", rescale_policy="migrate",
+        ).migration
+        fail = run_simulation(
+            _workload(), scheme="PKG", num_workers=10,
+            rescale_plan="fail@10000", rescale_policy="migrate",
+        ).migration
+        assert leave.entries_lost == 0
+        assert fail.entries_lost > 0
+        # The same worker departs either way; what changes is the ledger.
+        assert (
+            leave.entries_migrated
+            == fail.entries_migrated + fail.entries_lost
+        )
+
+    def test_ch_moves_an_order_of_magnitude_fewer_keys_than_pkg(self):
+        plan = "join@5000,leave@12000"
+        pkg = run_simulation(
+            _workload(), scheme="PKG", num_workers=10, rescale_plan=plan
+        ).migration
+        ch = run_simulation(
+            _workload(), scheme="CH", num_workers=10, rescale_plan=plan
+        ).migration
+        assert ch.keys_moved * 4 < pkg.keys_moved
+
+    def test_only_migrate_misroutes(self):
+        def misrouted(policy: str) -> int:
+            return run_simulation(
+                _workload(), scheme="PKG", num_workers=10,
+                rescale_plan="join@5000", rescale_policy=policy,
+                migration_window=2_000,
+            ).migration.tuples_misrouted
+
+        assert misrouted("migrate") > 0
+        assert misrouted("rehash") == 0
+        assert misrouted("remap") == 0
+
+    def test_misroutes_bounded_by_window(self):
+        migration = run_simulation(
+            _workload(), scheme="PKG", num_workers=10,
+            rescale_plan="join@5000", rescale_policy="migrate",
+            migration_window=300,
+        ).migration
+        assert 0 < migration.tuples_misrouted <= 300
+
+    def test_summary_includes_migration_totals(self):
+        result = run_simulation(
+            _workload(), scheme="PKG", num_workers=10, rescale_plan="join@5000"
+        )
+        summary = result.summary()
+        assert summary["rescale_events"] == 1
+        assert "keys_moved" in summary
+
+    def test_no_plan_keeps_result_shape(self):
+        result = run_simulation(_workload(), scheme="PKG", num_workers=10)
+        assert result.migration is None
+        assert "rescale_events" not in result.summary()
+
+    def test_time_series_axis_is_monotonic_through_shrinks(self):
+        # A leave/fail removes messages from the load total; the series'
+        # time axis must still be the stream position, not that total.
+        result = run_simulation(
+            _workload(), scheme="PKG", num_workers=10,
+            rescale_plan="leave@8000,fail@14000",
+            track_interval=2_000,
+        )
+        times = result.time_series.times
+        assert times == sorted(set(times))  # strictly increasing
+        assert times[-1] == 20_000  # the full stream was seen
+
+    def test_shuffle_grouping_reports_no_moved_keys(self):
+        migration = run_simulation(
+            _workload(), scheme="SG", num_workers=10, rescale_plan="join@5000"
+        ).migration
+        assert migration.keys_moved == 0

@@ -1,0 +1,94 @@
+"""A read-only results dir must fail the cell, not the whole suite run.
+
+The store's atomic rename raises ``PermissionError`` when the results
+directory was created with a different umask/owner; before the fix that
+exception escaped ``run_suite`` and killed the entire run.  These tests pin
+the new contract: the store cleans up and re-raises, the orchestrator turns
+it into a per-cell failure.  (The process may run as root, where chmod is
+not enforced, so the error is injected by patching ``os.replace`` instead
+of relying on filesystem permissions.)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.suite.orchestrator import run_suite
+from repro.suite.store import ResultRecord, ResultsStore
+
+
+def _record() -> ResultRecord:
+    return ResultRecord(
+        experiment_id="fig1",
+        scale="tiny",
+        fingerprint="f" * 64,
+        config={"x": 1},
+        result={"rows": []},
+        elapsed_seconds=0.1,
+    )
+
+
+class TestStoreSave:
+    def test_permission_error_propagates_and_cleans_temp(self, tmp_path, monkeypatch):
+        store = ResultsStore(tmp_path / "results")
+
+        def denied(source, destination):
+            raise PermissionError(13, "Permission denied", str(destination))
+
+        monkeypatch.setattr(os, "replace", denied)
+        with pytest.raises(PermissionError):
+            store.save(_record())
+        # The temporary file must not linger as store garbage.
+        directory = tmp_path / "results" / "fig1"
+        assert not any(directory.glob("*.tmp.*"))
+
+    def test_save_still_works_normally(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        path = store.save(_record())
+        assert path.is_file()
+
+
+class TestSuiteSurvivesStorePermissionError:
+    def test_write_failure_is_a_per_cell_failure(self, tmp_path, monkeypatch):
+        store = ResultsStore(tmp_path / "results")
+
+        def denied(self, record):
+            raise PermissionError(13, "Permission denied", "results")
+
+        monkeypatch.setattr(ResultsStore, "save", denied)
+        summary = run_suite(
+            experiment_ids=["fig3"],  # analytical: fast, no stream
+            scale="tiny",
+            jobs=1,
+            store=store,
+        )
+        assert not summary.ok
+        outcome = summary.outcomes[0]
+        assert outcome.status == "failed"
+        assert "results store write failed" in outcome.error
+        assert "Permission denied" in outcome.error_summary
+
+    def test_other_cells_still_complete(self, tmp_path, monkeypatch):
+        store = ResultsStore(tmp_path / "results")
+        original = ResultsStore.save
+
+        def flaky(self, record):
+            if record.experiment_id == "fig3":
+                raise PermissionError(13, "Permission denied", "results")
+            return original(self, record)
+
+        monkeypatch.setattr(ResultsStore, "save", flaky)
+        summary = run_suite(
+            experiment_ids=["fig3", "fig4"],
+            scale="tiny",
+            jobs=1,
+            store=store,
+        )
+        statuses = {
+            outcome.experiment_id: outcome.status
+            for outcome in summary.outcomes
+        }
+        assert statuses["fig3"] == "failed"
+        assert statuses["fig4"] == "computed"
