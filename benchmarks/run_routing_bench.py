@@ -13,6 +13,11 @@ The JSON schema is one entry per scheme::
     {"PKG": {"scalar_msgs_per_sec": ..., "batch_msgs_per_sec": ...,
              "batch_speedup": ...}, ..., "_meta": {...}}
 
+End-to-end dataflow throughput (``benchmarks/bench_dataflow.py``, the
+Figure 17 multi-stage topology) is appended under ``DATAFLOW-<scheme>``
+entries with the same shape, so one JSON carries both trajectories; pass
+``--no-dataflow`` to skip it.
+
 The CI bench guard runs this at reduced scale
 (``--messages 10000 --rounds 3 --output bench-current.json``) and compares
 the result against the committed baseline with
@@ -102,8 +107,21 @@ def main(argv: list[str] | None = None) -> None:
         "--output", metavar="PATH", default=None,
         help="where to write the JSON (default: BENCH_routing.json at the repo root)",
     )
+    parser.add_argument(
+        "--no-dataflow", action="store_true",
+        help="skip the multi-stage dataflow topology measurement",
+    )
     args = parser.parse_args(argv)
     results = run_bench(num_messages=args.messages, rounds=args.rounds)
+    if not args.no_dataflow:
+        from bench_dataflow import run_bench as run_dataflow_bench
+
+        # Scale the topology stream with the routing stream so the reduced
+        # CI invocation stays fast: one post carries three words.
+        print("\ndataflow topology (fig17), scalar vs batched:")
+        dataflow = run_dataflow_bench(num_posts=max(args.messages // 2, 2_000))
+        for name, entry in dataflow.items():
+            results[f"DATAFLOW-{name}" if not name.startswith("_") else "_meta_dataflow"] = entry
     if args.output is not None:
         output = Path(args.output)
     else:

@@ -48,6 +48,7 @@ from repro.exceptions import (
 from repro.operators import (
     AverageAggregator,
     CountAggregator,
+    ReconciliationSink,
     SumAggregator,
     TopKAggregator,
     TumblingWindowAssigner,
@@ -114,6 +115,7 @@ __all__ = [
     # operators / dataflow
     "AverageAggregator",
     "CountAggregator",
+    "ReconciliationSink",
     "SumAggregator",
     "TopKAggregator",
     "Topology",

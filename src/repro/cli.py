@@ -4,7 +4,8 @@ Four sub-commands:
 
 * ``list`` — show the available experiments (one per paper figure/table);
 * ``run <experiment-id>`` — run one experiment and print its rows
-  (``--scale tiny|quick|paper``, default ``quick``);
+  (``--scale tiny|quick|paper``, default ``quick``; ``--batch-size``
+  overrides the batched-execution chunk size where the config has one);
 * ``simulate`` — ad-hoc simulation of one grouping scheme on a Zipf
   workload (handy for quick what-if questions); ``--rescale
   "join@5000,leave@12000,fail@15000"`` replays an elastic worker schedule
@@ -23,7 +24,7 @@ from typing import Sequence
 
 from repro.experiments.common import print_result
 from repro.experiments.descriptor import SCALES
-from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+from repro.experiments.registry import get_experiment, list_experiments
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
 
@@ -62,6 +63,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the rows to PATH (.csv or .json)",
+    )
+    run_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "override the routing/dataflow batch size of the experiment "
+            "config (when it has one); results are identical for every "
+            "value, 1 forces scalar execution"
+        ),
     )
 
     sim_parser = subparsers.add_parser(
@@ -316,7 +327,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        result = run_experiment(args.experiment, scale=args.scale)
+        entry = get_experiment(args.experiment)
+        result = entry.descriptor.run_at(args.scale, batch_size=args.batch_size)
         print_result(result)
         if args.export:
             from repro.reporting.export import write_result

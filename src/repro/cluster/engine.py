@@ -88,6 +88,11 @@ class ClusterEngine:
             WorkerQueue(service_time_ms=topology.service_time_ms)
             for _ in range(topology.num_workers)
         ]
+        # Every queue that ever served, in spawn order: the initial workers
+        # followed by mid-run joiners.  Retired queues stay here (with their
+        # retired_at stamped) so the utilization report covers the whole
+        # fleet, not just the survivors.
+        self._all_workers = list(self._workers)
         self._events = EventQueue()
         self._latency = LatencyCollector(topology.num_workers)
         self._load = LoadTracker(topology.num_workers)
@@ -178,7 +183,7 @@ class ClusterEngine:
             throughput_per_second=throughput,
             latency=self._latency.stats(),
             worker_utilization=[
-                worker.utilization(duration) for worker in self._workers
+                worker.utilization(duration) for worker in self._all_workers
             ],
             imbalance=self._load.imbalance(),
             rescale_events=self._rescales_applied,
@@ -214,11 +219,18 @@ class ClusterEngine:
         for source in self._sources:
             policy.apply(source.partitioner, new_num_workers)
         if new_num_workers > old_num_workers:
-            self._workers.append(
-                WorkerQueue(service_time_ms=self._topology.service_time_ms)
+            joiner = WorkerQueue(
+                service_time_ms=self._topology.service_time_ms, started_at=now
             )
+            self._workers.append(joiner)
+            self._all_workers.append(joiner)
         else:
             queue = self._workers.pop()
+            # The active window closes when the backlog does: a leaver keeps
+            # servicing until drained, and a failed worker's backlog stays on
+            # the timeline as the replay stand-in (see docstring above), so
+            # both windows extend to busy_until.
+            queue.retired_at = max(now, queue.busy_until)
             backlog = 0
             if queue.busy_until > now:
                 backlog = int(

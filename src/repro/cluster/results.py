@@ -26,12 +26,13 @@ class ClusterResult:
         Aggregated latency statistics — the Figure 14 metrics.
     worker_utilization:
         Per-worker busy fraction, useful to see which scheme saturates a
-        single worker (KG) versus spreading load (SG, D-C, W-C).  After a
-        rescale this covers the *final* worker set only, with every busy
-        fraction taken over the full run duration — a worker that joined
-        late shows a proportionally lower number, and retired workers are
-        not reported (their tuples remain in the latency/throughput
-        totals).
+        single worker (KG) versus spreading load (SG, D-C, W-C).  One entry
+        per worker that *ever* served, in spawn order (initial workers
+        first, then mid-run joiners), each taken over that worker's own
+        active window: from its start (0, or its join time) to its
+        retirement (leave/fail, including the drain/replay tail) or the end
+        of the run.  A saturated worker therefore reports ~1.0 regardless
+        of when it joined or left.
     imbalance:
         Final load imbalance ``I(m)`` over message counts, for
         cross-checking against the pure simulation results.

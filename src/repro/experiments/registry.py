@@ -28,6 +28,7 @@ from repro.experiments import (
     fig14_latency,
     fig15_rescale_imbalance,
     fig16_migration_cost,
+    fig17_topology_throughput,
     table1_datasets,
 )
 from repro.experiments.common import ExperimentResult
@@ -92,6 +93,7 @@ _MODULES = (
     fig14_latency,
     fig15_rescale_imbalance,
     fig16_migration_cost,
+    fig17_topology_throughput,
     table1_datasets,
 )
 

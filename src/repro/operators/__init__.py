@@ -27,6 +27,7 @@ from repro.operators.aggregations import (
 from repro.operators.base import KeyedState, Operator, StatefulOperator, StatelessOperator
 from repro.operators.reconciliation import (
     AggregationCost,
+    ReconciliationSink,
     merge_partial_states,
     reconcile,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "KeyedState",
     "MinMaxAggregator",
     "Operator",
+    "ReconciliationSink",
     "SlidingWindowAssigner",
     "StatefulOperator",
     "StatelessOperator",

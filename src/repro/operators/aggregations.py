@@ -10,7 +10,8 @@ with known error (top-k via SpaceSaving).
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections import Counter
+from typing import Iterable, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.operators.base import StatefulOperator
@@ -33,6 +34,17 @@ class CountAggregator(StatefulOperator):
         current = self.state.get(key, int)
         self.state.put(key, current + 1)
 
+    def update_batch(self, items: Sequence[tuple[Key, object]]) -> None:
+        """Bulk count: one Counter pass, then one state access per key.
+
+        Counting is associative and commutative over the integers, so the
+        per-key pre-reduction yields exactly the state of the scalar loop.
+        """
+        counts = Counter(key for key, _ in items)
+        state = self.state
+        for key, added in counts.items():
+            state.put(key, (state.peek(key) or 0) + added)
+
     def result(self, key: Key) -> int:
         return int(self.state.peek(key) or 0)
 
@@ -52,6 +64,31 @@ class SumAggregator(StatefulOperator):
         current = self.state.get(key, float)
         self.state.put(key, current + float(value))
 
+    def update_batch(self, items: Sequence[tuple[Key, object]]) -> None:
+        """Bulk sum: one state read and one write per distinct key.
+
+        Each key's running total is seeded from the current state on first
+        occurrence and folded in arrival order, so the additions happen in
+        exactly the scalar sequence — bit-identical results even for float
+        streams (float addition is commutative but not associative, so a
+        pre-reduce-then-merge would drift in the last ulp).
+        """
+        partials: dict[Key, float] = {}
+        get = partials.get
+        peek = self.state.peek
+        for key, value in items:
+            if not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"SumAggregator needs numeric values, got {type(value).__name__}"
+                )
+            current = get(key)
+            if current is None:
+                current = peek(key) or 0.0
+            partials[key] = current + float(value)
+        state = self.state
+        for key, total in partials.items():
+            state.put(key, total)
+
     def result(self, key: Key) -> float:
         return float(self.state.peek(key) or 0.0)
 
@@ -70,6 +107,28 @@ class AverageAggregator(StatefulOperator):
             )
         total, count = self.state.get(key, lambda: (0.0, 0))
         self.state.put(key, (total + float(value), count + 1))
+
+    def update_batch(self, items: Sequence[tuple[Key, object]]) -> None:
+        """Bulk (sum, count): one state read and one write per distinct key,
+        folding in arrival order from the current state so the float sum is
+        bit-identical to the scalar loop (see
+        :meth:`SumAggregator.update_batch`)."""
+        partials: dict[Key, tuple[float, int]] = {}
+        get = partials.get
+        peek = self.state.peek
+        for key, value in items:
+            if not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"AverageAggregator needs numeric values, got {type(value).__name__}"
+                )
+            entry = get(key)
+            if entry is None:
+                entry = peek(key) or (0.0, 0)
+            total, count = entry
+            partials[key] = (total + float(value), count + 1)
+        state = self.state
+        for key, entry in partials.items():
+            state.put(key, entry)
 
     def result(self, key: Key) -> float:
         entry = self.state.peek(key)
@@ -98,6 +157,30 @@ class MinMaxAggregator(StatefulOperator):
         else:
             low, high = entry
             self.state.put(key, (min(low, value), max(high, value)))
+
+    def update_batch(self, items: Sequence[tuple[Key, object]]) -> None:
+        """Bulk min/max: pre-reduce per key — exact (min and max are
+        associative and commutative, unlike float addition)."""
+        partials: dict[Key, tuple[float, float]] = {}
+        get = partials.get
+        for key, value in items:
+            if not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"MinMaxAggregator needs numeric values, got {type(value).__name__}"
+                )
+            value = float(value)
+            entry = get(key)
+            if entry is None:
+                partials[key] = (value, value)
+            else:
+                low, high = entry
+                partials[key] = (min(low, value), max(high, value))
+        state = self.state
+        for key, (low, high) in partials.items():
+            entry = state.peek(key)
+            if entry is not None:
+                low, high = min(low, entry[0]), max(high, entry[1])
+            state.put(key, (low, high))
 
     def result(self, key: Key) -> tuple[float, float] | None:
         entry = self.state.peek(key)
@@ -139,6 +222,16 @@ class TopKAggregator(StatefulOperator):
             self._SKETCH_KEY, lambda: SpaceSaving(self._capacity)
         )
         sketch.add(key if value is None else value)
+
+    def update_batch(self, items: Sequence[tuple[Key, object]]) -> None:
+        """Bulk top-k: one ``add_all`` pass over the sketch (runs of equal
+        items collapse into single counter moves, see SpaceSaving)."""
+        sketch = self.state.get(
+            self._SKETCH_KEY, lambda: SpaceSaving(self._capacity)
+        )
+        sketch.add_all(
+            key if value is None else value for key, value in items
+        )
 
     def result(self, key: Key = None) -> list[tuple[object, int]]:
         """The current top-k items of this instance's sub-stream."""

@@ -10,10 +10,15 @@ time (see :mod:`repro.operators.reconciliation`).
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.types import Key, Message
+
+#: Shared empty output — what stateful operators emit per message.  Returned
+#: (never mutated) by the bulk paths so a batch of n absorbing updates costs
+#: one list of n references instead of n empty lists.
+_NO_OUTPUT: tuple[Message, ...] = ()
 
 
 class KeyedState:
@@ -84,9 +89,34 @@ class Operator(abc.ABC):
         self._processed += 1
         return list(self.process(message))
 
+    def execute_batch(self, messages: Sequence[Message]) -> list[Sequence[Message]]:
+        """Process a micro-batch; returns one output sequence per input.
+
+        Semantically identical to ``[self.execute(m) for m in messages]``:
+        outputs stay grouped per input message (the dataflow runtime needs
+        that mapping to keep batched execution byte-identical to scalar),
+        and state/``processed`` evolve exactly as under the scalar calls.
+        Bulk performance lives in :meth:`process_batch`, which subclasses
+        override with vectorized implementations.
+        """
+        self._processed += len(messages)
+        return self.process_batch(messages)
+
     @abc.abstractmethod
     def process(self, message: Message) -> Iterable[Message]:
         """Transform one input message into zero or more output messages."""
+
+    def process_batch(self, messages: Sequence[Message]) -> list[Sequence[Message]]:
+        """Bulk :meth:`process`: one output sequence per input message.
+
+        The default delegates message-by-message, so every operator is
+        batch-capable; operators with a cheaper bulk form (the aggregators,
+        windows, reconciliation sinks) override it.  Overrides must leave
+        the operator in exactly the state the scalar loop would and return
+        outputs in the scalar emission order.
+        """
+        process = self.process
+        return [list(process(message)) for message in messages]
 
     def state_size(self) -> int:
         """Number of per-key state entries held (0 for stateless operators)."""
@@ -125,6 +155,10 @@ class StatelessOperator(Operator):
     def process(self, message: Message) -> Iterable[Message]:
         return self._function(message)
 
+    def process_batch(self, messages: Sequence[Message]) -> list[Sequence[Message]]:
+        function = self._function
+        return [list(function(message)) for message in messages]
+
 
 class StatefulOperator(Operator):
     """Base class for operators with per-key state.
@@ -150,9 +184,28 @@ class StatefulOperator(Operator):
     def update(self, key: Key, value: object) -> None:
         """Fold ``value`` into the state of ``key``."""
 
+    def update_batch(self, items: Sequence[tuple[Key, object]]) -> None:
+        """Fold a batch of ``(key, value)`` pairs into the state.
+
+        The default loops :meth:`update`; aggregators override it with bulk
+        folds that reduce the batch per key (one state access per distinct
+        key instead of one per message).  Overrides must produce exactly
+        the state the scalar loop would — bit-for-bit: folds that are only
+        associative up to rounding (float addition) seed each key's
+        running value from the current state and fold in arrival order
+        rather than pre-reducing from zero.
+        """
+        update = self.update
+        for key, value in items:
+            update(key, value)
+
     def process(self, message: Message) -> Iterable[Message]:
         self.update(message.key, message.value)
         return ()
+
+    def process_batch(self, messages: Sequence[Message]) -> list[Sequence[Message]]:
+        self.update_batch([(message.key, message.value) for message in messages])
+        return [_NO_OUTPUT] * len(messages)
 
     def partial_state(self) -> dict[Key, object]:
         """A snapshot of this instance's per-key partial state."""

@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import abc
 from collections import defaultdict
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.operators.base import Operator
 from repro.types import Key, Message
+
+_NO_OUTPUT: tuple[Message, ...] = ()
 
 
 class WindowAssigner(abc.ABC):
@@ -153,6 +155,59 @@ class WindowedAggregator(Operator):
                 accumulator = self._initializer()
             self._windows[slot] = self._fold(accumulator, message.value)
         yield from self._close_expired()
+
+    def process_batch(self, messages: Sequence[Message]) -> list[Sequence[Message]]:
+        """Bulk windowed fold with an earliest-deadline close guard.
+
+        Byte-identical to the scalar loop — window closes stay attached to
+        the exact input message whose watermark advance triggered them, so
+        downstream routing sees the same sub-streams — but the per-message
+        expired scan (O(open windows) in :meth:`process`) only runs when the
+        advancing cutoff actually reaches the earliest open window end.  On
+        a tumbling window of ``w`` messages that is one scan per window
+        instead of one per message.
+        """
+        assigner = self._assigner
+        assign = assigner.assign
+        window_end = assigner.window_end
+        windows = self._windows
+        get = windows.get
+        fold = self._fold
+        initializer = self._initializer
+        lateness = self._allowed_lateness
+        watermark = self._watermark
+        infinity = float("inf")
+        min_end = min(
+            (window_end(start) for start, _ in windows), default=infinity
+        )
+        outputs: list[Sequence[Message]] = []
+        append = outputs.append
+        for message in messages:
+            timestamp = message.timestamp
+            if timestamp > watermark:
+                watermark = timestamp
+            key = message.key
+            value = message.value
+            for start in assign(timestamp):
+                slot = (start, key)
+                accumulator = get(slot)
+                if accumulator is None:
+                    accumulator = initializer()
+                    end = window_end(start)
+                    if end < min_end:
+                        min_end = end
+                windows[slot] = fold(accumulator, value)
+            if watermark - lateness >= min_end:
+                self._watermark = watermark
+                append(list(self._close_expired()))
+                min_end = min(
+                    (window_end(start) for start, _ in windows),
+                    default=infinity,
+                )
+            else:
+                append(_NO_OUTPUT)
+        self._watermark = watermark
+        return outputs
 
     def _close_expired(self) -> Iterator[Message]:
         cutoff = self._watermark - self._allowed_lateness

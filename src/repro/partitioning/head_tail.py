@@ -15,6 +15,7 @@ the head path to subclasses via :meth:`_select_head`.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.analysis.bounds import theta_range
@@ -74,6 +75,11 @@ class HeadTailPartitioner(Partitioner):
             )
         self._theta = theta
         self._warmup_messages = warmup_messages
+        # Remember the provisioning slack so a rescale can re-check the
+        # sizing guarantee: our own sketches are built with
+        # DEFAULT_SKETCH_SLACK; for injected estimators only the bare
+        # no-false-negative requirement (capacity >= 1/theta) is assumed.
+        self._sketch_slack = DEFAULT_SKETCH_SLACK if sketch is None else 1.0
         if sketch is None:
             sketch = SpaceSaving.for_threshold(theta, slack=DEFAULT_SKETCH_SLACK)
         self._sketch = sketch
@@ -249,18 +255,38 @@ class HeadTailPartitioner(Partitioner):
         frequency knowledge that survives a topology change unchanged —
         throwing it away would force every scheme back through the warmup
         before heavy hitters are treated specially again.  A defaulted
-        theta is re-derived for the new worker count (its sketch keeps the
-        original capacity; with slack >= 1 that capacity still upper-bounds
-        the head for any larger theta, and a shrink only tightens the
-        estimates, never drops a heavy hitter).
+        theta is re-derived for the new worker count.  Shrinks only raise
+        theta, so the original capacity keeps upper-bounding the head; a
+        *join*, however, lowers theta (1/(5n) falls as n grows), and once
+        ``1/theta_new`` exceeds the sketch's capacity the no-false-negative
+        guarantee breaks — a true heavy hitter could be evicted and silently
+        routed down the tail path.  The sketch is therefore grown in place
+        (monitored counters preserved) whenever the re-derived theta needs
+        more counters than it was provisioned with.
         """
         if self._theta_defaulted:
             self._theta = theta_range(new_num_workers).default
+            self._ensure_sketch_capacity()
         self._hashes = HashFamily(
             num_functions=max(2, new_num_workers),
             num_buckets=new_num_workers,
             seed=self.seed,
         )
+
+    def _ensure_sketch_capacity(self) -> None:
+        """Grow the sketch when the current theta needs more counters.
+
+        Best-effort for injected estimators: only sketches exposing both
+        ``capacity`` and ``grow`` (SpaceSaving does) are resized; growth
+        preserves every monitored count, so the head table survives.
+        """
+        capacity = getattr(self._sketch, "capacity", None)
+        grow = getattr(self._sketch, "grow", None)
+        if capacity is None or not callable(grow):
+            return
+        required = max(1, math.ceil(self._sketch_slack / self._theta))
+        if capacity < required:
+            grow(required)
 
     def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
         """Pure candidate set: head keys via the scheme's head placement,

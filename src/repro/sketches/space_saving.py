@@ -22,6 +22,7 @@ matters because the partitioners call ``add`` once per message.
 
 from __future__ import annotations
 
+import math
 from typing import Iterator, Optional
 
 from repro.exceptions import ConfigurationError, SketchError
@@ -93,6 +94,12 @@ class SpaceSaving(FrequencyEstimator):
         necessary), which reduces the estimation error of the reported heavy
         hitters; the paper's setting of theta = 1/(5n) with default slack
         yields a sketch of 5n counters — still O(n) memory per source.
+
+        The capacity is ``ceil(slack / threshold)``: rounding *up* is what
+        keeps the no-false-negative guarantee (``capacity >= 1/phi``) intact
+        for every threshold.  Rounding to nearest would under-provision —
+        e.g. ``for_threshold(0.4)`` would get 2 counters where the guarantee
+        needs ``ceil(1 / 0.4) = 3``.
         """
         if threshold <= 0.0 or threshold > 1.0:
             raise ConfigurationError(
@@ -100,7 +107,7 @@ class SpaceSaving(FrequencyEstimator):
             )
         if slack <= 0.0:
             raise ConfigurationError(f"slack must be positive, got {slack}")
-        capacity = max(1, int(round(slack / threshold)))
+        capacity = max(1, math.ceil(slack / threshold))
         return cls(capacity)
 
     # ------------------------------------------------------------------ #
@@ -214,6 +221,23 @@ class SpaceSaving(FrequencyEstimator):
         self._where.clear()
         self._errors.clear()
         self._head = None
+
+    def grow(self, new_capacity: int) -> None:
+        """Raise the capacity in place, preserving every monitored counter.
+
+        Capacity only gates the *insertion* of new keys, so growing is free:
+        existing counters, errors and the bucket list stay untouched, and the
+        sketch simply stops evicting until the larger budget fills up.  Used
+        by the head/tail partitioners when a rescale re-derives a smaller
+        theta whose head no longer fits the original sizing.  Shrinking is
+        rejected — it would have to pick eviction victims and would weaken
+        the error bound of the surviving counters.
+        """
+        if new_capacity < self._capacity:
+            raise SketchError(
+                f"cannot shrink capacity {self._capacity} to {new_capacity}"
+            )
+        self._capacity = new_capacity
 
     def estimate(self, key: Key) -> int:
         bucket = self._where.get(key)

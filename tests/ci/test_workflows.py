@@ -74,6 +74,13 @@ class TestCiWorkflow:
         # The warm run must fail on recomputed or failed cells.
         assert "computed|failed" in commands
 
+    def test_suite_smoke_exercises_dataflow_experiment(self, ci):
+        # The multi-stage topology runs in both execution modes: scalar
+        # (batch-size 1) and batched.
+        commands = _job_commands(ci["jobs"]["suite-smoke"])
+        assert "run fig17 --scale tiny --batch-size 1" in commands
+        assert "run fig17 --scale tiny --batch-size 1024" in commands
+
 
 class TestBenchWorkflow:
     def test_nightly_and_on_demand(self, bench):
@@ -104,12 +111,19 @@ class TestBenchWorkflow:
         # (the baseline is committed from different hardware).
         assert "--metric batch_speedup" in commands
 
+    def test_guards_dataflow_throughput(self, bench):
+        # The nightly guard tracks the multi-stage topology's batched
+        # speedup alongside raw routing (DATAFLOW-* entries in the JSON).
+        commands = _job_commands(bench["jobs"]["routing-bench"])
+        assert "DATAFLOW-W-C" in commands
+
 
 class TestReferencedPathsExist:
     @pytest.mark.parametrize(
         "path",
         [
             "benchmarks/run_routing_bench.py",
+            "benchmarks/bench_dataflow.py",
             "benchmarks/check_bench_regression.py",
             "BENCH_routing.json",
             "pyproject.toml",

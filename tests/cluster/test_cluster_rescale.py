@@ -45,8 +45,29 @@ class TestClusterRescale:
         )
         result = engine.run(_workload())
         assert result.rescale_events == 3
-        assert len(result.worker_utilization) == 7  # 8 + 1 - 1 - 1
+        # Every worker that ever served is reported: 8 initial + 1 joiner,
+        # including the two retired by the leave and the fail.
+        assert len(result.worker_utilization) == 9
         assert result.num_messages == 12_000
+
+    def test_utilization_covers_each_workers_own_window(self):
+        # Regression: utilization used to be computed from the *final*
+        # worker list over the *full* run duration — retired workers
+        # vanished from the report and a mid-run joiner's busy time was
+        # diluted by time it was not even online.
+        result = ClusterEngine(
+            _topology(rescale_plan="join@6000,leave@9000")
+        ).run(_workload())
+        # 8 initial workers + 1 joiner, the retired leaver included.
+        assert len(result.worker_utilization) == 9
+        assert all(0.0 <= value <= 1.0 for value in result.worker_utilization)
+        # The joiner (last spawn-order slot) came online halfway through a
+        # cluster that keeps every worker busy; measured over its own active
+        # window its utilization must be in the same league as the initial
+        # workers', not halved by the pre-join dead time.
+        joiner = result.worker_utilization[-1]
+        initial = result.worker_utilization[:8]
+        assert joiner > 0.5 * min(initial)
 
     def test_leave_drains_fail_loses(self):
         drained = ClusterEngine(
@@ -65,6 +86,16 @@ class TestClusterRescale:
         assert result.rescale_events == 1
         assert len(result.worker_utilization) == 9
         assert result.messages_drained == result.messages_lost == 0
+
+    def test_retired_worker_utilization_reflects_service_before_retirement(self):
+        # The leaver was a full member until its retirement: over its own
+        # window it must report non-trivial utilization, not disappear.
+        result = ClusterEngine(
+            _topology(rescale_plan="leave@9000")
+        ).run(_workload())
+        assert len(result.worker_utilization) == 8
+        retired = result.worker_utilization[7]  # highest initial id retires
+        assert retired > 0.0
 
     def test_summary_includes_rescale_columns_only_when_used(self):
         static = ClusterEngine(_topology()).run(_workload(4_000))

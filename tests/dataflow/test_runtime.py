@@ -122,3 +122,45 @@ class TestRunTopology:
         # CountAggregator emits nothing, so the sink never sees traffic
         assert result.vertex_metrics("sink").messages == 0
         assert result.vertex_metrics("sink").imbalance == 0.0
+
+
+class TestBatchedExecution:
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_topology(_counting_topology("SG"), ["a"], batch_size=0)
+
+    def test_empty_workload_rejected_in_batched_mode(self):
+        with pytest.raises(ConfigurationError):
+            run_topology(_counting_topology("PKG"), [], batch_size=64)
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 100, 4096])
+    def test_counts_identical_for_every_batch_size(self, batch_size):
+        result = run_topology(
+            _counting_topology("PKG"), ["a", "b", "a"] * 100,
+            batch_size=batch_size,
+        )
+        metrics = result.vertex_metrics("counter")
+        assert metrics.messages == 300
+        assert sum(metrics.instance_loads) == 300
+
+    def test_multi_stage_batched_matches_scalar_loads(self):
+        def build():
+            topology = Topology("split-count")
+            topology.add_vertex("splitter", _word_split_factory, parallelism=2)
+            topology.add_vertex("counter", CountAggregator, parallelism=4)
+            topology.set_source("splitter", scheme="SG")
+            topology.add_edge("splitter", "counter", scheme="PKG")
+            return topology
+
+        sentences = [
+            Message(float(i), f"line-{i}", "alpha beta") for i in range(200)
+        ]
+        scalar = run_topology(build(), sentences, batch_size=1)
+        batched = run_topology(build(), sentences, batch_size=64)
+        for vertex in ("splitter", "counter"):
+            assert (
+                batched.vertex_metrics(vertex).instance_loads
+                == scalar.vertex_metrics(vertex).instance_loads
+            )
+        merged, _ = reconcile(batched.instances["counter"], CountAggregator.merge)
+        assert merged == {"alpha": 200, "beta": 200}

@@ -18,7 +18,7 @@ class TestDescriptors:
             assert descriptor.title
             assert descriptor.artifact.startswith(("Figure", "Table"))
             assert descriptor.claim.rstrip().endswith(".")
-            assert descriptor.kind in {"analytical", "simulation", "cluster"}
+            assert descriptor.kind in {"analytical", "simulation", "cluster", "dataflow"}
             assert descriptor.output.kind in {"series", "bars", "table"}
 
     def test_every_scale_builds_a_config(self):

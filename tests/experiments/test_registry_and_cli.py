@@ -24,6 +24,7 @@ EXPECTED_EXPERIMENTS = {
     "fig14",
     "fig15",
     "fig16",
+    "fig17",
     "table1",
 }
 

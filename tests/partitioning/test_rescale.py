@@ -116,6 +116,37 @@ class TestHeadTailRescale:
         partitioner.rescale(20)
         assert partitioner.theta == pytest.approx(1 / 100)
 
+    def test_join_rescale_grows_sketch_capacity(self):
+        # Regression: the sketch kept its original capacity when a join
+        # re-derived a smaller defaulted theta — at 4 workers the sketch is
+        # provisioned for theta = 1/20, but after joins to 32 workers the
+        # new theta 1/160 needs 1/theta = 160 counters and the old sizing
+        # can silently evict true heavy hitters.
+        partitioner = _make("W-C", num_workers=4, warmup_messages=0)
+        assert partitioner.sketch.capacity < 160
+        for workers in range(5, 33):
+            partitioner.rescale(workers)
+        assert partitioner.theta == pytest.approx(1 / 160)
+        assert partitioner.sketch.capacity >= 1 / partitioner.theta
+
+    @pytest.mark.parametrize("scheme", ["D-C", "W-C", "RR"])
+    def test_heavy_hitter_still_head_after_joins(self, scheme):
+        # 100 uniform keys: each has relative frequency 1/100, below the
+        # 4-worker theta (1/20) but above the 32-worker theta (1/160) —
+        # every key becomes a true heavy hitter after the joins.  With the
+        # unfixed capacity (40 counters) most of them could not even be
+        # monitored, so is_head() returned False for genuinely heavy keys.
+        partitioner = _make(scheme, num_workers=4, warmup_messages=0)
+        partitioner.rescale(32)
+        for round_index in range(300):
+            for key in range(100):
+                partitioner.route(f"key-{key}")
+        for key in range(100):
+            assert partitioner.is_head(f"key-{key}"), (
+                f"key-{key} has frequency 1/100 > theta = {partitioner.theta} "
+                f"but was not classified as head"
+            )
+
     def test_explicit_theta_is_kept(self):
         partitioner = _make("W-C", num_workers=10, theta=0.01)
         partitioner.rescale(20)

@@ -28,6 +28,41 @@ class TestConstruction:
         sketch = SpaceSaving.for_threshold(0.01, slack=2.0)
         assert sketch.capacity == 200
 
+    def test_for_threshold_rounds_up(self):
+        # Regression: int(round(...)) used banker's rounding and
+        # under-provisioned — for_threshold(0.4) got capacity 2 where the
+        # no-false-negative guarantee needs ceil(1 / 0.4) = 3 counters.
+        assert SpaceSaving.for_threshold(0.4).capacity == 3
+
+    @pytest.mark.parametrize("slack", [1.0, 1.5, 2.0])
+    def test_for_threshold_capacity_never_below_guarantee(self, slack):
+        # The documented guarantee is capacity >= slack / threshold for
+        # every threshold, not just the ones that divide evenly.
+        thresholds = [0.003, 0.01, 0.07, 1 / 7, 0.25, 1 / 3, 0.4, 0.6, 0.9, 1.0]
+        for threshold in thresholds:
+            capacity = SpaceSaving.for_threshold(threshold, slack=slack).capacity
+            assert capacity >= slack / threshold, (
+                f"threshold={threshold}, slack={slack}: capacity {capacity} "
+                f"< {slack / threshold}"
+            )
+
+    def test_grow_preserves_counters(self):
+        sketch = SpaceSaving(capacity=2)
+        for key in ["a", "a", "b", "a", "c"]:
+            sketch.add(key)
+        monitored = {entry.key: entry.count for entry in sketch.entries()}
+        sketch.grow(5)
+        assert sketch.capacity == 5
+        assert {entry.key: entry.count for entry in sketch.entries()} == monitored
+        # The freed budget admits new keys without evicting the old ones.
+        sketch.add("d")
+        assert sketch.estimate("a") >= 3
+        assert sketch.estimate("d") == 1
+
+    def test_grow_rejects_shrink(self):
+        with pytest.raises(SketchError):
+            SpaceSaving(capacity=10).grow(5)
+
     def test_for_threshold_rejects_bad_threshold(self):
         with pytest.raises(ConfigurationError):
             SpaceSaving.for_threshold(0.0)
