@@ -8,10 +8,11 @@ The CI bench guard runs ``run_routing_bench.py`` at reduced scale and then::
         --threshold 0.30 --metric batch_msgs_per_sec --schemes PKG
 
 A scheme regresses when its measured rate drops more than ``threshold``
-(default 30%) below the baseline.  Exit code 1 on any regression, 0
-otherwise.  Rates *above* baseline never fail (faster is fine); schemes
-missing from either file are reported and skipped — the guard compares what
-both measured.
+(default 30%) below the baseline.  ``--metric`` accepts several metrics at
+once (e.g. ``--metric batch_speedup batch_msgs_per_sec``) and guards each.
+Exit code 1 on any regression, 0 otherwise.  Rates *above* baseline never
+fail (faster is fine); schemes missing from either file are reported and
+skipped — the guard compares what both measured.
 
 Baselines and CI runners have different hardware, so the default threshold
 is deliberately loose: it catches algorithmic regressions (an accidental
@@ -95,8 +96,11 @@ def main(argv: list[str] | None = None) -> int:
         help=f"allowed fractional drop (default: {DEFAULT_THRESHOLD})",
     )
     parser.add_argument(
-        "--metric", default=DEFAULT_METRIC,
-        help=f"per-scheme rate to compare (default: {DEFAULT_METRIC})",
+        "--metric", nargs="+", default=[DEFAULT_METRIC], metavar="METRIC",
+        help=(
+            "per-scheme rate(s) to compare; several metrics may be given "
+            f"and every one is guarded (default: {DEFAULT_METRIC})"
+        ),
     )
     parser.add_argument(
         "--schemes", nargs="+", default=None, metavar="NAME",
@@ -108,10 +112,14 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
     current = json.loads(Path(args.current).read_text(encoding="utf-8"))
-    failures = compare(
-        baseline, current,
-        threshold=args.threshold, metric=args.metric, schemes=args.schemes,
-    )
+    failures: list[str] = []
+    for metric in args.metric:
+        failures.extend(
+            compare(
+                baseline, current,
+                threshold=args.threshold, metric=metric, schemes=args.schemes,
+            )
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

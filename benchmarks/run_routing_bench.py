@@ -29,7 +29,9 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.partitioning.registry import create_partitioner
@@ -87,8 +89,40 @@ def run_bench(num_messages: int = NUM_MESSAGES, rounds: int = ROUNDS) -> dict[st
         "batch_size": BATCH_SIZE,
         "rounds": rounds,
         "python": platform.python_version(),
+        # Provenance: which tree produced these numbers and when, so the
+        # bench trajectory across PRs stays reconstructible from the JSON
+        # alone (see docs/performance.md).
+        "git_commit": _git_commit(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
     return results
+
+
+def _git_commit() -> str:
+    """The current commit hash, or "unknown" outside a git checkout.
+
+    A ``-dirty`` suffix marks a working tree with uncommitted changes —
+    the normal case for the run that refreshes the committed baseline,
+    whose numbers describe the *next* commit rather than HEAD.
+    """
+    cwd = Path(__file__).resolve().parent
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if probe.returncode != 0 or not probe.stdout.strip():
+            return "unknown"
+        commit = probe.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if dirty.returncode == 0 and dirty.stdout.strip():
+            commit += "-dirty"
+        return commit
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
 
 
 def main(argv: list[str] | None = None) -> None:

@@ -20,7 +20,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.hashing.vectorized import bucketed_hashes
+from repro.hashing.vectorized import bucketed_hash_columns, bucketed_hashes
 from repro.types import Key, WorkerId
 
 _MASK64 = (1 << 64) - 1
@@ -251,6 +251,32 @@ class HashFamily:
             count=len(keys),
         )
         return bucketed_hashes(key_ints, self._mixed_seeds_np[:d], self._num_buckets)
+
+    def candidates_batch_columns(
+        self, keys: Sequence[Key], d: int | None = None
+    ) -> list[list[int]]:
+        """Column-major :meth:`candidates_batch` for allocation-free walking.
+
+        Returns ``d`` flat ``int`` lists such that ``result[j][i]`` is the
+        ``j``-th candidate of ``keys[i]``.  The routing hot loops iterate a
+        batch as ``zip(firsts, seconds)`` over these columns, avoiding the
+        per-message row list that ``candidates_batch(...).tolist()`` would
+        allocate.
+        """
+        if d is None:
+            d = self._num_functions
+        if not 1 <= d <= self._num_functions:
+            raise ConfigurationError(
+                f"requested d={d} outside [1, {self._num_functions}]"
+            )
+        key_ints = np.fromiter(
+            (self._intern_key(key) for key in keys),
+            dtype=np.uint64,
+            count=len(keys),
+        )
+        return bucketed_hash_columns(
+            key_ints, self._mixed_seeds_np[:d], self._num_buckets
+        )
 
     def _intern_key(self, key: Key) -> int:
         """``_key_to_int`` with FIFO-bounded memoisation."""

@@ -21,10 +21,12 @@ changes.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.analysis.choices import DEFAULT_EPSILON, ChoicesSolution, find_optimal_choices
 from repro.exceptions import ConfigurationError
 from repro.partitioning.head_tail import HeadTailPartitioner
-from repro.sketches.base import FrequencyEstimator
+from repro.sketches.base import FrequencyEstimator, runs_to_flags
 from repro.types import Key, RoutingDecision, WorkerId
 
 
@@ -62,8 +64,10 @@ class DChoices(HeadTailPartitioner):
 
     name = "D-C"
 
-    #: The solver-recompute throttle reads messages_routed per head message,
-    #: so route_batch must keep the counter live inside a batch.
+    #: The solver-recompute throttle reads messages_routed per head message.
+    #: D-Choices ships its own route_batch (checkpoint splitting), but the
+    #: flag keeps the conservative interleaved loop correct for subclasses
+    #: that fall back to it.
     _head_reads_message_count = True
 
     def __init__(
@@ -124,8 +128,15 @@ class DChoices(HeadTailPartitioner):
     # FINDOPTIMALCHOICES with caching
     # ------------------------------------------------------------------ #
     def _find_optimal_choices(self) -> ChoicesSolution:
-        total = self._sketch.total
-        head_counts = sorted(self.current_head().values(), reverse=True)
+        sketch = self._sketch
+        total = sketch.total
+        # The solver consumes the sorted count multiset only; head_counts
+        # skips materialising the key -> count mapping of current_head().
+        counts_of = getattr(sketch, "head_counts", None)
+        if counts_of is not None:
+            head_counts = sorted(counts_of(self._theta), reverse=True)
+        else:  # duck-typed estimator
+            head_counts = sorted(self.current_head().values(), reverse=True)
         if not head_counts or total == 0:
             return ChoicesSolution(
                 num_choices=2, use_w_choices=False, head_cardinality=0
@@ -147,11 +158,33 @@ class DChoices(HeadTailPartitioner):
             and routed - self._messages_at_last_check < self._check_interval
         ):
             return
+        self._maybe_recompute_at(routed)
+
+    def _maybe_recompute_at(self, routed: int) -> None:
+        """Run one (unthrottled) solver check as of message count ``routed``.
+
+        Callers guarantee eligibility: either the solver has never run or at
+        least ``check_interval`` messages passed since the last check.  The
+        batched driver calls this directly at chunk-internal checkpoints
+        with the sketch parked at exactly the triggering message, so the
+        signature read here is the one the scalar path would have seen.
+
+        The signature itself comes from ``sketch.head_signature`` — the
+        (cardinality, hottest count) pair — rather than materialising the
+        full ``current_head()`` mapping just to take its len and max.
+        """
         self._messages_at_last_check = routed
-        head = self.current_head()
-        total = max(1, self._sketch.total)
-        hottest = max(head.values()) / total if head else 0.0
-        signature = (len(head), hottest)
+        sketch = self._sketch
+        signature_of = getattr(sketch, "head_signature", None)
+        if signature_of is not None:
+            cardinality, hottest_count = signature_of(self._theta)
+        else:  # duck-typed estimator: derive the pair from the full head
+            head = sketch.heavy_hitters(self._theta)
+            cardinality = len(head)
+            hottest_count = max(head.values()) if head else 0
+        total = max(1, sketch.total)
+        hottest = hottest_count / total if cardinality else 0.0
+        signature = (cardinality, hottest)
         stale_by_count = (
             routed - self._messages_at_last_solve >= self._recompute_interval
         )
@@ -182,14 +215,21 @@ class DChoices(HeadTailPartitioner):
         )
 
     def _select_head_worker(self, key: Key) -> WorkerId:
-        # Same logic as _select_head without the RoutingDecision; candidate
-        # tuples for hot keys come straight from the hash family's interning
-        # cache, so the per-message cost is a dict hit plus the load scan.
         self._maybe_recompute()
+        return self._select_head_worker_solved(key)
+
+    def _select_head_worker_solved(self, key: Key) -> WorkerId:
+        # Same logic as _select_head without the RoutingDecision or the
+        # solver throttle: selection against the *current* solution.  The
+        # batched driver calls this directly after running the checkpoint
+        # itself; candidate tuples for hot keys come from the per-head-key
+        # cache, so the per-message cost is a dict hit plus the load scan.
         loads = self._state.loads
         if self._solution.use_w_choices:
             return loads.index(min(loads))
-        candidates = self._head_candidates(key, max(2, self._solution.num_choices))
+        candidates = self._cached_head_candidates(
+            key, max(2, self._solution.num_choices)
+        )
         best = candidates[0]
         best_load = loads[best]
         for candidate in candidates[1:]:
@@ -198,6 +238,97 @@ class DChoices(HeadTailPartitioner):
                 best = candidate
                 best_load = load
         return best
+
+    def _head_selection(self) -> tuple[str, int]:
+        solution = self._solution
+        if solution.use_w_choices:
+            return ("all", 0)
+        return ("d", max(2, solution.num_choices))
+
+    def route_batch(
+        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+    ) -> list[WorkerId]:
+        """Batched D-Choices: classified runs split at solver checkpoints.
+
+        The head path reads the sketch and the message counter through the
+        solver throttle, so the chunk cannot simply be classified in one
+        pre-feeding pass — a mid-chunk check would observe keys from its own
+        future.  But checkpoint positions are *predictable*: a check can
+        only fire at a head message once ``check_interval`` messages have
+        passed since the last check (or while the solver has never run).
+        The driver therefore alternates between
+
+        * bulk runs up to the next possible checkpoint — classified with one
+          sketch pass and routed with the classified pipeline under the
+          frozen solution, exactly as the scalar path would have done since
+          every head message in the run is throttle-ineligible; and
+        * a stop-at-head scan from the checkpoint on: the sketch feed halts
+          right after the first head-classified message, the check runs with
+          the sketch parked there (byte-identical signature and solve), and
+          that message is then routed under the refreshed solution.
+
+        The message counter only needs to be *read* at checkpoints, so it is
+        reconstructed arithmetically instead of stored per message.
+        """
+        total_messages = len(keys)
+        if total_messages == 0:
+            return []
+        state = self._state
+        routed_before = state.messages_routed
+        check_interval = self._check_interval
+        out: list[WorkerId] = []
+        flags_out: list[bool] | None = [] if head_flags is not None else None
+        position = 0
+        while position < total_messages:
+            if self._never_solved:
+                checkpoint = position
+            else:
+                checkpoint = self._messages_at_last_check + check_interval - routed_before
+                if checkpoint < position:
+                    checkpoint = position
+            if checkpoint >= total_messages:
+                # No checkpoint can fire in the remainder: one bulk run.
+                block = keys[position:]
+                tail_keys: list[Key] = []
+                runs = self._classify_runs(block, tail_keys)
+                self._route_runs(block, runs, tail_keys, out)
+                if flags_out is not None:
+                    flags_out.extend(runs_to_flags(runs))
+                break
+            if checkpoint > position:
+                # Throttle-ineligible prefix: bulk run under the frozen
+                # solution.
+                block = keys[position:checkpoint]
+                tail_keys = []
+                runs = self._classify_runs(block, tail_keys)
+                self._route_runs(block, runs, tail_keys, out)
+                if flags_out is not None:
+                    flags_out.extend(runs_to_flags(runs))
+                position = checkpoint
+            # From here every head message fires the check: scan for it with
+            # the sketch feed stopping right after the triggering message.
+            scan = keys[position:]
+            tail_prefix: list[Key] = []
+            flags = self._classify_batch(scan, stop_at_head=True, tail_out=tail_prefix)
+            fed = len(flags)
+            if flags and flags[-1]:
+                self._route_tail_span(tail_prefix, out)
+                head_position = position + fed - 1
+                self._maybe_recompute_at(routed_before + head_position)
+                worker = self._select_head_worker_solved(keys[head_position])
+                state.loads[worker] += 1
+                out.append(worker)
+                position = head_position + 1
+            else:
+                # No head key in the rest of the chunk: all tail.
+                self._route_tail_span(tail_prefix, out)
+                position += fed
+            if flags_out is not None:
+                flags_out.extend(flags)
+        state.messages_routed = routed_before + total_messages
+        if head_flags is not None:
+            head_flags.extend(flags_out)
+        return out
 
     def reset(self) -> None:
         super().reset()

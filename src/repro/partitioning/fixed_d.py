@@ -29,6 +29,10 @@ class FixedDHead(HeadTailPartitioner):
 
     name = "FIXED-D"
 
+    #: The head path reads only the load vector and hash-derived candidate
+    #: tuples for a d that never changes mid-stream: chunk-safe, "d" mode.
+    _head_path_chunk_safe = True
+
     def __init__(
         self,
         num_workers: int,
@@ -56,6 +60,9 @@ class FixedDHead(HeadTailPartitioner):
     def num_choices(self) -> int:
         return self._num_choices
 
+    def _head_selection(self) -> tuple[str, int]:
+        return ("d", self._num_choices)
+
     def _select_head(self, key: Key) -> RoutingDecision:
         candidates = self._head_candidates(key, self._num_choices)
         worker = self._least_loaded(candidates)
@@ -64,7 +71,7 @@ class FixedDHead(HeadTailPartitioner):
         )
 
     def _select_head_worker(self, key: Key) -> WorkerId:
-        candidates = self._head_candidates(key, self._num_choices)
+        candidates = self._cached_head_candidates(key, self._num_choices)
         return self._least_loaded(candidates)
 
     def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:

@@ -82,9 +82,12 @@ class GreedyD(Partitioner):
         out: list[WorkerId] = []
         append = out.append
         for row in rows:
-            best = row[0]
+            # Scan via an iterator rather than row[1:]: the slice would
+            # allocate a fresh list per message just to drop the head.
+            scan = iter(row)
+            best = next(scan)
             best_load = loads[best]
-            for candidate in row[1:]:
+            for candidate in scan:
                 load = loads[candidate]
                 if load < best_load:
                     best = candidate

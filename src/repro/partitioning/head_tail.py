@@ -16,13 +16,14 @@ the head path to subclasses via :meth:`_select_head`.
 from __future__ import annotations
 
 import math
+from itertools import chain
 from typing import Sequence
 
 from repro.analysis.bounds import theta_range
 from repro.exceptions import ConfigurationError
 from repro.hashing.hash_family import HashFamily
 from repro.partitioning.base import Partitioner
-from repro.sketches.base import FrequencyEstimator
+from repro.sketches.base import FrequencyEstimator, runs_to_flags
 from repro.sketches.space_saving import SpaceSaving
 from repro.types import Key, RoutingDecision, WorkerId
 
@@ -90,6 +91,13 @@ class HeadTailPartitioner(Partitioner):
         self._hashes = HashFamily(
             num_functions=max(2, num_workers), num_buckets=num_workers, seed=seed
         )
+        # Per-head-key candidate tuples for the currently effective d.  Head
+        # keys repeat by definition, so the head path resolves each (key, d)
+        # pair once instead of re-deriving (and re-slicing) the tuple per
+        # message.  Invalidated whenever d changes (lazily, via the d tag)
+        # and whenever the hash family is rebuilt (rescale).
+        self._head_cand_cache: dict[Key, tuple[WorkerId, ...]] = {}
+        self._head_cand_cache_d = 0
 
     # ------------------------------------------------------------------ #
     # public knobs / introspection
@@ -127,9 +135,28 @@ class HeadTailPartitioner(Partitioner):
         return self._select_tail(key)
 
     #: Whether the head path reads ``messages_routed`` while a batch is in
-    #: flight (D-Choices' solver throttle does).  When False, route_batch
-    #: skips the per-message counter store and bulk-updates at the end.
+    #: flight (D-Choices' solver throttle does).  When False, the legacy
+    #: interleaved batch loop skips the per-message counter store and
+    #: bulk-updates at the end.
     _head_reads_message_count = False
+
+    #: Whether the head path only reads state that the classified batch
+    #: pipeline keeps exact mid-chunk (the load vector and scheme-internal
+    #: cursors).  Schemes that opt in get the two-pass fast path: the whole
+    #: chunk is classified in one bulk sketch pass, then routed with run
+    #: loops.  Schemes whose head selection reads the *sketch* or the
+    #: message counter mid-stream (D-Choices' solver throttle) must keep
+    #: this False — pre-feeding the sketch past a solver checkpoint would
+    #: change what the check observes — and either take the interleaved
+    #: loop or split chunks at the checkpoints themselves, as D-Choices
+    #: does in its own ``route_batch``.
+    _head_path_chunk_safe = False
+
+    #: Maximum number of (head key -> candidate tuple) entries interned by
+    #: the head candidate cache; FIFO-evicted beyond this.  Head keys are
+    #: few by definition (at most the sketch capacity at any instant), so
+    #: the bound only matters on long runs with drifting heads.
+    _HEAD_CANDIDATE_CACHE_LIMIT = 1 << 14
 
     def _select_worker(self, key: Key) -> WorkerId:
         # Fast path: same steps as _select (sketch update, head test, tail
@@ -148,20 +175,46 @@ class HeadTailPartitioner(Partitioner):
     def route_batch(
         self, keys: Sequence[Key], head_flags: list[bool] | None = None
     ) -> list[WorkerId]:
-        """Batched Algorithm 1: vectorized tail hashing, shared bookkeeping.
+        """Batched Algorithm 1: classify the chunk in bulk, then route runs.
 
-        The two tail candidates of every key in the batch are derived in one
-        vectorized pass; the selection loop then only pays the sketch update,
-        the O(1) head test and a two-way load comparison per message.  Head
-        keys defer to :meth:`_select_head_worker` exactly as the scalar path
-        does, so the worker sequence is identical to one-at-a-time routing.
+        Schemes whose head path is chunk-safe (see
+        ``_head_path_chunk_safe``) take the two-pass pipeline: one bulk
+        sketch pass classifies every message (``add_and_classify_batch``),
+        then the selection pass hashes only the tail keys — vectorized — and
+        places head keys with a scheme-specific run strategy (a running
+        argmin over the load vector for full-freedom schemes, cached
+        candidate tuples for bounded-d schemes).  Everything the selection
+        pass reads evolves exactly as it would one message at a time, so the
+        worker sequence is byte-identical to sequential :meth:`route` calls.
 
-        Loop-invariant lookups are hoisted: the sketch update and head test
-        fuse into one ``add_and_estimate`` call when the sketch provides it
-        (SpaceSaving does), the observed total is tracked as a local counter
-        (unit adds advance it by exactly one), and ``messages_routed`` is
-        written per message only for schemes whose head path reads it
-        mid-batch (see ``_head_reads_message_count``).
+        Schemes that read the sketch or the message counter from the head
+        path fall back to the interleaved per-message loop, which feeds the
+        sketch in stream order.
+        """
+        if self._head_path_chunk_safe:
+            tail_keys: list[Key] = []
+            runs = self._classify_runs(keys, tail_keys)
+            out: list[WorkerId] = []
+            self._route_runs(keys, runs, tail_keys, out)
+            self._state.messages_routed += len(out)
+            if head_flags is not None:
+                head_flags.extend(runs_to_flags(runs))
+            return out
+        return self._route_batch_interleaved(keys, head_flags)
+
+    def _route_batch_interleaved(
+        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+    ) -> list[WorkerId]:
+        """Per-message batch loop: vectorized tail hashing, live bookkeeping.
+
+        The conservative path for subclasses that have not declared their
+        head path chunk-safe: every candidate pair is derived in one
+        vectorized pass up front, but the sketch update, head test and head
+        selection run message by message in stream order, so a head path
+        may read any state (sketch, message counter) and still observe
+        exactly what the scalar path would.  ``messages_routed`` is written
+        per message only for schemes that read it mid-batch (see
+        ``_head_reads_message_count``).
         """
         pairs = self._hashes.candidates_batch(keys, 2).tolist()
         state = self._state
@@ -219,6 +272,284 @@ class HeadTailPartitioner(Partitioner):
             state.messages_routed += len(out)
         return out
 
+    # ------------------------------------------------------------------ #
+    # classified batch pipeline
+    # ------------------------------------------------------------------ #
+    def _classify_batch(
+        self,
+        keys: Sequence[Key],
+        stop_at_head: bool = False,
+        tail_out: list[Key] | None = None,
+    ) -> list[bool]:
+        """Feed ``keys`` to the sketch and return one head flag per key.
+
+        One bulk sketch call replaces the per-message ``add`` + ``estimate``
+        round trips (see ``FrequencyEstimator.add_and_classify_batch``).
+        With ``stop_at_head`` the pass — and crucially the sketch feed —
+        stops right after the first head-classified key, leaving the sketch
+        parked at that message; D-Choices relies on this to read head
+        signatures at solver checkpoints with exactly the scalar-path view.
+        ``tail_out`` collects the tail run during the same pass.  Duck-typed
+        estimators without the bulk op get the reference loop.
+        """
+        bulk = getattr(self._sketch, "add_and_classify_batch", None)
+        if bulk is not None:
+            return bulk(
+                keys, self._theta, self._warmup_messages, stop_at_head, tail_out
+            )
+        sketch = self._sketch
+        theta = self._theta
+        warmup = self._warmup_messages
+        add = sketch.add
+        estimate = sketch.estimate
+        flags: list[bool] = []
+        append = flags.append
+        tail_append = tail_out.append if tail_out is not None else None
+        for key in keys:
+            add(key)
+            total = sketch.total
+            is_head = total >= warmup and estimate(key) >= theta * total
+            append(is_head)
+            if not is_head and tail_append is not None:
+                tail_append(key)
+            if stop_at_head and is_head:
+                break
+        return flags
+
+    def _classify_runs(
+        self, keys: Sequence[Key], tail_out: list[Key]
+    ) -> list[int]:
+        """Run-length classification of a chunk (see ``add_and_classify_runs``).
+
+        Returns the head-run lengths around each tail message and fills
+        ``tail_out`` with the tail keys, all in one sketch pass.  Duck-typed
+        estimators without the bulk ops are classified with the reference
+        loop and converted.
+        """
+        bulk = getattr(self._sketch, "add_and_classify_runs", None)
+        if bulk is not None:
+            return bulk(keys, self._theta, self._warmup_messages, tail_out)
+        flags = self._classify_batch(keys, tail_out=tail_out)
+        runs = [0]
+        for is_head in flags:
+            if is_head:
+                runs[-1] += 1
+            else:
+                runs.append(0)
+        return runs
+
+    def _route_runs(
+        self,
+        keys: Sequence[Key],
+        runs: Sequence[int],
+        tail_keys: Sequence[Key],
+        out: list[WorkerId],
+    ) -> None:
+        """Route a run-length-classified chunk, appending to ``out``.
+
+        The chunk arrives pre-split into alternating head runs and tail
+        messages (``runs[i]`` heads, then ``tail_keys[i]``, ...; the last
+        entry of ``runs`` is the trailing head run).  Tail placements walk
+        the vectorized candidate columns; head runs count down with no
+        per-message flag or key touch in "all" mode — full-freedom
+        placement needs nothing but the load vector — while "d" and "call"
+        modes track the stream position to recover the head keys from
+        ``keys``.  ``messages_routed`` is the caller's to update.
+        """
+        loads = self._state.loads
+        append = out.append
+        if len(keys) <= 24:
+            # Short fragment (single-message chunks, D-Choices checkpoint
+            # remnants): the fixed setup of the vectorized path — numpy
+            # round trip, argmin-queue seeding — costs more than routing
+            # the handful of messages against the scalar helpers.
+            self._route_runs_scalar(keys, runs, out)
+            return
+        if tail_keys:
+            firsts, seconds = self._hashes.candidates_batch_columns(tail_keys, 2)
+        else:
+            firsts = seconds = ()
+        # One sentinel pair past the real tails pairs the trailing head run
+        # with the same loop body; len(runs) == len(tail_keys) + 1, so zip
+        # consumes exactly the sentinel for the final entry.
+        paired = zip(runs, chain(firsts, (None,)), chain(seconds, (None,)))
+        mode, num_choices = self._head_selection()
+        if mode == "all":
+            level, queue = self._min_load_level()
+            position = 0
+            fill = len(queue)
+            for run, first, second in paired:
+                while run:
+                    run -= 1
+                    while True:
+                        if position == fill:
+                            level, queue = self._min_load_level()
+                            position = 0
+                            fill = len(queue)
+                        worker = queue[position]
+                        position += 1
+                        if loads[worker] == level:
+                            break
+                    loads[worker] = level + 1
+                    append(worker)
+                if first is None:
+                    break
+                worker = first if loads[first] <= loads[second] else second
+                loads[worker] += 1
+                append(worker)
+        elif mode == "d":
+            # The cache-tag handshake runs once up front so the hot path may
+            # read the cache directly; misses go through
+            # _cached_head_candidates, the single home of the dedupe /
+            # FIFO-eviction logic (its re-check of the tag is then a no-op).
+            num_choices = max(2, min(num_choices, self.num_workers))
+            cache = self._head_cand_cache
+            if num_choices != self._head_cand_cache_d:
+                cache.clear()
+                self._head_cand_cache_d = num_choices
+            cache_get = cache.get
+            cached_candidates = self._cached_head_candidates
+            stream_at = 0
+            for run, first, second in paired:
+                while run:
+                    run -= 1
+                    key = keys[stream_at]
+                    stream_at += 1
+                    candidates = cache_get(key)
+                    if candidates is None:
+                        candidates = cached_candidates(key, num_choices)
+                    scan = iter(candidates)
+                    worker = next(scan)
+                    best_load = loads[worker]
+                    for candidate in scan:
+                        load = loads[candidate]
+                        if load < best_load:
+                            worker = candidate
+                            best_load = load
+                    loads[worker] += 1
+                    append(worker)
+                if first is None:
+                    break
+                stream_at += 1
+                worker = first if loads[first] <= loads[second] else second
+                loads[worker] += 1
+                append(worker)
+        else:
+            select_head = self._select_head_worker
+            stream_at = 0
+            for run, first, second in paired:
+                while run:
+                    run -= 1
+                    worker = select_head(keys[stream_at])
+                    stream_at += 1
+                    loads[worker] += 1
+                    append(worker)
+                if first is None:
+                    break
+                stream_at += 1
+                worker = first if loads[first] <= loads[second] else second
+                loads[worker] += 1
+                append(worker)
+
+    def _route_runs_scalar(
+        self, keys: Sequence[Key], runs: Sequence[int], out: list[WorkerId]
+    ) -> None:
+        """Scalar fallback of :meth:`_route_runs` for short fragments."""
+        loads = self._state.loads
+        append = out.append
+        candidates_of = self._hashes.candidates
+        mode, num_choices = self._head_selection()
+        run_iter = iter(runs)
+        run = next(run_iter)
+        for key in keys:
+            if run:
+                run -= 1
+                if mode == "all":
+                    worker = loads.index(min(loads))
+                elif mode == "d":
+                    worker = self._least_loaded(
+                        self._cached_head_candidates(key, num_choices)
+                    )
+                else:
+                    worker = self._select_head_worker(key)
+            else:
+                run = next(run_iter)
+                first, second = candidates_of(key, 2)
+                worker = first if loads[first] <= loads[second] else second
+            loads[worker] += 1
+            append(worker)
+
+    def _head_selection(self) -> tuple[str, int]:
+        """How the classified pipeline should place head keys right now.
+
+        ``("all", 0)`` — least-loaded of all workers (W-Choices and the
+        D-Choices degradation), served by the running-argmin queue;
+        ``("d", d)`` — least-loaded of ``d`` hash-derived candidates, served
+        by the head candidate cache; ``("call", 0)`` — per-message
+        :meth:`_select_head_worker`, for head paths with scheme-internal
+        state (Round-Robin's cursor).  Re-consulted at every classified run
+        so schemes whose mode is dynamic (D-Choices after a solver refresh)
+        switch at exactly the boundaries where their state can change.
+        """
+        return ("call", 0)
+
+    def _cached_head_candidates(self, key: Key, num_choices: int) -> tuple[WorkerId, ...]:
+        """The head candidate set of ``key``, interned per (key, d).
+
+        Same clamping as :meth:`_head_candidates`, but the cached tuple is
+        *deduplicated* (first occurrence kept, order preserved): a repeated
+        candidate can never win a least-loaded scan — the first occurrence
+        already set ``best_load`` at most that low and the comparison is
+        strict — so dropping it changes nothing while shortening every
+        subsequent scan (d hash draws over n workers repeat themselves with
+        noticeable probability once d is a fair fraction of n).  The cache
+        is tagged with the effective d and flushed lazily whenever it
+        changes (a D-Choices solver refresh), and eagerly when the hash
+        family is rebuilt (rescale) — stale tuples would otherwise leak
+        pre-rescale workers.
+        """
+        num_choices = max(2, min(num_choices, self.num_workers))
+        cache = self._head_cand_cache
+        if num_choices != self._head_cand_cache_d:
+            cache.clear()
+            self._head_cand_cache_d = num_choices
+        candidates = cache.get(key)
+        if candidates is None:
+            candidates = tuple(
+                dict.fromkeys(self._hashes.candidates(key, num_choices))
+            )
+            if len(cache) >= self._HEAD_CANDIDATE_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[key] = candidates
+        return candidates
+
+    def _route_tail_span(self, tail_keys: Sequence[Key], out: list[WorkerId]) -> None:
+        """Route a run of tail-classified keys (two-choice), appending to
+        ``out``.
+
+        D-Choices' checkpoint scans classify a (usually tiny) all-tail
+        prefix before the head message that fires the solver check; short
+        spans take scalar candidate lookups — the numpy round trip costs
+        more than it saves below a couple dozen messages — and longer ones
+        the vectorized columns.  ``messages_routed`` is the caller's to
+        update.
+        """
+        loads = self._state.loads
+        append = out.append
+        if len(tail_keys) <= 24:
+            candidates_of = self._hashes.candidates
+            for key in tail_keys:
+                first, second = candidates_of(key, 2)
+                worker = first if loads[first] <= loads[second] else second
+                loads[worker] += 1
+                append(worker)
+            return
+        firsts, seconds = self._hashes.candidates_batch_columns(tail_keys, 2)
+        for first, second in zip(firsts, seconds):
+            worker = first if loads[first] <= loads[second] else second
+            loads[worker] += 1
+            append(worker)
+
     def _select_tail(self, key: Key) -> RoutingDecision:
         """Tail path: the standard two choices of PKG."""
         candidates = self._hashes.candidates(key, 2)
@@ -246,6 +577,11 @@ class HeadTailPartitioner(Partitioner):
         reset = getattr(self._sketch, "reset", None)
         if callable(reset):
             reset()
+        # Candidate tuples would still be valid (hashing is untouched), but
+        # a reset is a fresh start: drop them so the cache cannot outlive
+        # whatever population the new stream brings.
+        self._head_cand_cache.clear()
+        self._head_cand_cache_d = 0
 
     def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
         """Incremental rescale: new hash family, *preserved* head table.
@@ -272,6 +608,11 @@ class HeadTailPartitioner(Partitioner):
             num_buckets=new_num_workers,
             seed=self.seed,
         )
+        # The hash family above was just rebuilt for the new bucket count:
+        # every cached head candidate tuple now points at pre-rescale
+        # workers and must go, whatever d it was derived for.
+        self._head_cand_cache.clear()
+        self._head_cand_cache_d = 0
 
     def _ensure_sketch_capacity(self) -> None:
         """Grow the sketch when the current theta needs more counters.

@@ -59,12 +59,15 @@ class PartialKeyGrouping(Partitioner):
     def route_batch(
         self, keys: Sequence[Key], head_flags: list[bool] | None = None
     ) -> list[WorkerId]:
-        pairs = self._hashes.candidates_batch(keys, 2).tolist()
+        # Column-major candidates: two flat int lists instead of one small
+        # list per message, walked with zip (whose result tuple CPython
+        # recycles) — the selection loop allocates nothing per message.
+        firsts, seconds = self._hashes.candidates_batch_columns(keys, 2)
         state = self._state
         loads = state.loads
         out: list[WorkerId] = []
         append = out.append
-        for first, second in pairs:
+        for first, second in zip(firsts, seconds):
             worker = first if loads[first] <= loads[second] else second
             loads[worker] += 1
             append(worker)

@@ -25,6 +25,11 @@ class RoundRobinHead(HeadTailPartitioner):
 
     name = "RR"
 
+    #: The head path reads only the round-robin cursor, which the "call"
+    #: selection mode advances in exact stream order — so the chunk may be
+    #: classified in one bulk sketch pass.
+    _head_path_chunk_safe = True
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._next_worker = 0

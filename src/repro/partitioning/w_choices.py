@@ -8,12 +8,16 @@ PKG choices.
 W-Choices is the strongest scheme in terms of balance (it has full placement
 freedom for the hot keys) and the most expensive in memory: a head key's
 state may end up replicated on every worker.
+
+Batching: the head path reads nothing but the load vector, so W-Choices
+declares itself chunk-safe and rides the classified pipeline of
+:class:`~repro.partitioning.head_tail.HeadTailPartitioner` — one bulk sketch
+pass to classify the chunk, then a selection pass whose head placements come
+from the running-argmin queue ("all" mode) instead of an O(n) ``min`` scan
+per message.
 """
 
 from __future__ import annotations
-
-import heapq
-from typing import Sequence
 
 from repro.partitioning.head_tail import HeadTailPartitioner
 from repro.types import Key, RoutingDecision, WorkerId
@@ -32,6 +36,13 @@ class WChoices(HeadTailPartitioner):
 
     name = "W-C"
 
+    #: The head path is a pure function of the load vector, which the
+    #: classified pipeline maintains in exact stream order.
+    _head_path_chunk_safe = True
+
+    def _head_selection(self) -> tuple[str, int]:
+        return ("all", 0)
+
     def _select_head(self, key: Key) -> RoutingDecision:
         worker = self._least_loaded_overall()
         return RoutingDecision(key=key, worker=worker, is_head=True)
@@ -39,76 +50,3 @@ class WChoices(HeadTailPartitioner):
     def _select_head_worker(self, key: Key) -> WorkerId:
         loads = self._state.loads
         return loads.index(min(loads))
-
-    def route_batch(
-        self, keys: Sequence[Key], head_flags: list[bool] | None = None
-    ) -> list[WorkerId]:
-        """W-Choices batch: two passes and a heap instead of O(n) min scans.
-
-        Pass 1 feeds the sketch and classifies every message (exact because,
-        unlike D-Choices, the W-C head path never reads the sketch or the
-        message counter — only the load vector, which pass 2 maintains in
-        stream order).  Tail candidates are then hashed only for the tail
-        messages.  Pass 2 selects workers, replacing the per-head-message
-        ``min(loads)`` scan with a lazy (load, worker) min-heap: every
-        increment pushes the worker's new entry and stale entries (older,
-        hence lower, loads) are discarded on pop, so the heap top is always
-        the first-index least-loaded worker — the same tie-break as
-        ``list.index(min(...))``.
-        """
-        state = self._state
-        loads = state.loads
-        sketch = self._sketch
-        theta = self._theta
-        warmup = self._warmup_messages
-        count = len(keys)
-
-        flags: list[bool] = []
-        fappend = flags.append
-        add_and_estimate = getattr(sketch, "add_and_estimate", None)
-        if add_and_estimate is not None:
-            total = sketch.total
-            for key in keys:
-                total += 1
-                estimate = add_and_estimate(key)
-                fappend(total >= warmup and estimate >= theta * total)
-        else:
-            add = sketch.add
-            estimate_key = sketch.estimate
-            for key in keys:
-                add(key)
-                total = sketch.total
-                fappend(total >= warmup and estimate_key(key) >= theta * total)
-
-        tail_keys = [key for key, is_head in zip(keys, flags) if not is_head]
-        tail_pairs = (
-            self._hashes.candidates_batch(tail_keys, 2).tolist()
-            if tail_keys
-            else []
-        )
-        next_pair = iter(tail_pairs).__next__
-
-        heap = [(load, worker) for worker, load in enumerate(loads)]
-        heapq.heapify(heap)
-        push = heapq.heappush
-        pop = heapq.heappop
-        out: list[WorkerId] = []
-        append = out.append
-        for is_head in flags:
-            if is_head:
-                load, worker = pop(heap)
-                while load != loads[worker]:  # stale: worker moved on
-                    load, worker = pop(heap)
-                new_load = load + 1
-            else:
-                first, second = next_pair()
-                worker = first if loads[first] <= loads[second] else second
-                new_load = loads[worker] + 1
-            loads[worker] = new_load
-            push(heap, (new_load, worker))
-            append(worker)
-
-        state.messages_routed += count
-        if head_flags is not None:
-            head_flags.extend(flags)
-        return out

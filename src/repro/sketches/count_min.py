@@ -112,6 +112,49 @@ class CountMinSketch(FrequencyEstimator):
             del self._candidates[smallest_key]
             self._candidates[key] = estimate
 
+    def add_and_classify_batch(
+        self,
+        keys,
+        threshold: float,
+        warmup: int = 0,
+        stop_at_head: bool = False,
+        tail_out: list | None = None,
+    ) -> list[bool]:
+        """Fused bulk update + head classification (see the base contract).
+
+        The ``depth`` row hashes are by far the dominant cost of a Count-Min
+        update, and the reference ``add`` + ``estimate`` loop pays them
+        twice per message.  Here the estimate is the minimum of the cells
+        the add itself just incremented — the same value ``estimate`` would
+        recompute — so each message is hashed once.
+        """
+        flags: list[bool] = []
+        append = flags.append
+        rows = self._rows
+        update_candidates = self._update_candidates
+        indexes = self._indexes
+        total = self._total
+        tail_append = tail_out.append if tail_out is not None else None
+        for key in keys:
+            total += 1
+            estimate = math.inf
+            for row, index in enumerate(indexes(key)):
+                cells = rows[row]
+                value = cells[index] + 1
+                cells[index] = value
+                if value < estimate:
+                    estimate = value
+            estimate = int(estimate)
+            update_candidates(key, estimate)
+            is_head = total >= warmup and estimate >= threshold * total
+            append(is_head)
+            if not is_head and tail_append is not None:
+                tail_append(key)
+            if stop_at_head and is_head:
+                break
+        self._total = total
+        return flags
+
     def estimate(self, key: Key) -> int:
         return min(self._rows[row][index] for row, index in enumerate(self._indexes(key)))
 

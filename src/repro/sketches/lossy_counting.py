@@ -82,6 +82,52 @@ class LossyCounting(FrequencyEstimator):
         }
         self._counters = survivors
 
+    def add_and_classify_batch(
+        self,
+        keys,
+        threshold: float,
+        warmup: int = 0,
+        stop_at_head: bool = False,
+        tail_out: list | None = None,
+    ) -> list[bool]:
+        """Fused bulk update + head classification (see the base contract).
+
+        Inlines :meth:`_add_one`; at window boundaries the prune may evict
+        the key that was just inserted, so the counter is re-read after the
+        prune (and the local dict alias refreshed — ``_prune`` rebuilds the
+        mapping) to keep the flags identical to ``add`` + ``estimate``.
+        """
+        flags: list[bool] = []
+        append = flags.append
+        counters = self._counters
+        window = self._window
+        total = self._total
+        tail_append = tail_out.append if tail_out is not None else None
+        for key in keys:
+            total += 1
+            entry = counters.get(key)
+            if entry is not None:
+                count = entry[0] + 1
+                counters[key] = (count, entry[1])
+            else:
+                count = 1
+                counters[key] = (1, self._current_window - 1)
+            if not total % window:
+                self._total = total
+                self._prune()
+                self._current_window += 1
+                counters = self._counters
+                entry = counters.get(key)
+                count = entry[0] if entry is not None else 0
+            is_head = total >= warmup and count >= threshold * total
+            append(is_head)
+            if not is_head and tail_append is not None:
+                tail_append(key)
+            if stop_at_head and is_head:
+                break
+        self._total = total
+        return flags
+
     def estimate(self, key: Key) -> int:
         entry = self._counters.get(key)
         return entry[0] if entry is not None else 0

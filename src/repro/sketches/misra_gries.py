@@ -83,6 +83,48 @@ class MisraGries(FrequencyEstimator):
         if remaining > 0 and len(self._counters) < self._capacity:
             self._counters[key] = remaining
 
+    def add_and_classify_batch(
+        self,
+        keys,
+        threshold: float,
+        warmup: int = 0,
+        stop_at_head: bool = False,
+        tail_out: list | None = None,
+    ) -> list[bool]:
+        """Fused bulk update + head classification (see the base contract).
+
+        The monitored-key increment and the free-counter insert are inlined;
+        only the decrement-all step goes through :meth:`add`.  After an
+        eviction round the new key may be left unmonitored (estimate 0),
+        which the re-read of the counter reproduces exactly.
+        """
+        flags: list[bool] = []
+        append = flags.append
+        counters = self._counters
+        capacity = self._capacity
+        total = self._total
+        tail_append = tail_out.append if tail_out is not None else None
+        for key in keys:
+            total += 1
+            count = counters.get(key)
+            if count is not None:
+                count += 1
+                counters[key] = count
+            elif len(counters) < capacity:
+                counters[key] = count = 1
+            else:
+                self._total = total - 1
+                self.add(key)
+                count = counters.get(key, 0)
+            is_head = total >= warmup and count >= threshold * total
+            append(is_head)
+            if not is_head and tail_append is not None:
+                tail_append(key)
+            if stop_at_head and is_head:
+                break
+        self._total = total
+        return flags
+
     def estimate(self, key: Key) -> int:
         return self._counters.get(key, 0)
 

@@ -26,7 +26,7 @@ import math
 from typing import Iterator, Optional
 
 from repro.exceptions import ConfigurationError, SketchError
-from repro.sketches.base import FrequencyEstimate, FrequencyEstimator
+from repro.sketches.base import FrequencyEstimate, FrequencyEstimator, runs_to_flags
 from repro.types import Key
 
 #: Sentinel distinct from every stream key (including ``None``) for run
@@ -191,6 +191,136 @@ class SpaceSaving(FrequencyEstimator):
         self._replace_minimum(key, 1)
         return where[key].count
 
+    def add_and_classify_batch(
+        self,
+        keys,
+        threshold: float,
+        warmup: int = 0,
+        stop_at_head: bool = False,
+        tail_out: list | None = None,
+    ) -> list[bool]:
+        """Fused bulk update + head classification (see the base contract).
+
+        The full-chunk form derives its flags from
+        :meth:`add_and_classify_runs` — the run pass is the one true hot
+        loop and the expansion runs at C speed — so there is exactly one
+        inlined copy of the update machinery.  The ``stop_at_head`` form
+        keeps its own loop: it must halt the sketch feed mid-chunk, and the
+        scans D-Choices uses it for are short by construction.
+        """
+        if not stop_at_head:
+            return runs_to_flags(
+                self.add_and_classify_runs(keys, threshold, warmup, tail_out)
+            )
+        flags: list[bool] = []
+        append = flags.append
+        where_get = self._where.get
+        slow_add = self.add_and_estimate
+        total = self._total
+        tail_append = tail_out.append if tail_out is not None else None
+        for key in keys:
+            total += 1
+            bucket = where_get(key)
+            if bucket is not None:
+                new_count = bucket.count + 1
+                if len(bucket.keys) == 1:
+                    nxt = bucket.next
+                    if nxt is None or nxt.count > new_count:
+                        bucket.count = new_count
+                    else:
+                        self._total = total - 1
+                        new_count = slow_add(key)
+                else:
+                    self._total = total - 1
+                    new_count = slow_add(key)
+            else:
+                self._total = total - 1
+                new_count = slow_add(key)
+            is_head = total >= warmup and new_count >= threshold * total
+            append(is_head)
+            if is_head:
+                break
+            if tail_append is not None:
+                tail_append(key)
+        self._total = total
+        return flags
+
+    def add_and_classify_runs(
+        self,
+        keys,
+        threshold: float,
+        warmup: int = 0,
+        tail_out: list | None = None,
+    ) -> list[int]:
+        """Fused bulk update + run-length head classification.
+
+        THE routing hot loop: every message of every head/tail scheme's
+        batch path goes through here exactly once.  The whole monitored-key
+        update of :meth:`add_and_estimate` is inlined — the steady state
+        (key alone in its count class) is a dict hit and an integer bump,
+        a count-class relink touches no helper either — and only the
+        unmonitored cases (insert, eviction) take a method call.  A head
+        message costs one integer bump of the open run instead of a list
+        append, which on the skewed streams the head/tail split exists for
+        is most messages.  Flags derived from the returned runs are
+        identical to the reference ``add`` + ``estimate`` loop's.
+        """
+        runs: list[int] = []
+        rappend = runs.append
+        where = self._where
+        where_get = where.get
+        slow_add = self.add_and_estimate
+        total = self._total
+        sink = tail_out if tail_out is not None else []
+        tail_append = sink.append
+        run = 0
+        for key in keys:
+            total += 1
+            bucket = where_get(key)
+            if bucket is not None:
+                new_count = bucket.count + 1
+                nxt = bucket.next
+                if len(bucket.keys) == 1 and (nxt is None or nxt.count > new_count):
+                    bucket.count = new_count
+                else:
+                    # Inlined unit relink (mirrors add_and_estimate): move
+                    # the key one count class up, dropping its old class if
+                    # that leaves it empty.
+                    del bucket.keys[key]
+                    if nxt is not None and nxt.count == new_count:
+                        target = nxt
+                    else:
+                        target = _Bucket(new_count)
+                        target.prev = bucket
+                        target.next = nxt
+                        if nxt is not None:
+                            nxt.prev = target
+                        bucket.next = target
+                    target.keys[key] = None
+                    where[key] = target
+                    if not bucket.keys:
+                        prev = bucket.prev
+                        nxt = bucket.next
+                        if prev is not None:
+                            prev.next = nxt
+                        else:
+                            self._head = nxt
+                        if nxt is not None:
+                            nxt.prev = prev
+                        bucket.prev = bucket.next = None
+            else:
+                self._total = total - 1
+                new_count = slow_add(key)
+            if total >= warmup and new_count >= threshold * total:
+                run += 1
+            else:
+                rappend(run)
+                run = 0
+                tail_append(key)
+        rappend(run)
+        self._total = total
+        return runs
+
     def add_all(self, keys) -> None:
         """Bulk update: collapse runs of equal keys into one counter move.
 
@@ -264,6 +394,49 @@ class SpaceSaving(FrequencyEstimator):
     def min_count(self) -> int:
         """Smallest monitored count (0 when the sketch is empty)."""
         return self._head.count if self._head is not None else 0
+
+    def head_signature(self, threshold: float) -> tuple[int, int]:
+        """``(len(heavy_hitters(threshold)), hottest count)`` without the dict.
+
+        The stream summary groups keys into count classes, so the pair falls
+        out of one walk over the bucket list — O(number of distinct counts)
+        instead of materialising a :class:`FrequencyEstimate` per monitored
+        key the way ``heavy_hitters`` does.  D-Choices polls this on every
+        throttled solver check, which made the full ``current_head()`` scan
+        the single hottest spot of its routing profile.
+        """
+        total = self._total
+        if total == 0:
+            return (0, 0)
+        cutoff = threshold * total
+        cardinality = 0
+        hottest = 0
+        bucket = self._head
+        while bucket is not None:
+            if bucket.count >= cutoff:
+                # Buckets are ordered by count ascending: once one qualifies
+                # they all do, and the last one seen holds the maximum.
+                cardinality += len(bucket.keys)
+                hottest = bucket.count
+            bucket = bucket.next
+        return (cardinality, hottest)
+
+    def head_counts(self, threshold: float) -> list[int]:
+        """The head's estimated counts from one bucket walk (see the base
+        contract): each qualifying count class contributes its count once
+        per monitored key, no per-key objects or dict involved."""
+        total = self._total
+        if total == 0:
+            return []
+        cutoff = threshold * total
+        counts: list[int] = []
+        bucket = self._head
+        while bucket is not None:
+            count = bucket.count
+            if count >= cutoff:
+                counts.extend([count] * len(bucket.keys))
+            bucket = bucket.next
+        return counts
 
     # ------------------------------------------------------------------ #
     # internal stream-summary maintenance

@@ -181,3 +181,103 @@ class TestDChoices:
         for _ in range(1000):
             scheme.route("hot")
         assert scheme.route_with_decision("hot").is_head is True
+
+
+class TestDChoicesSolverCache:
+    """The cached solver solution must be refreshed whenever the state it
+    was derived from is discarded — not only on the defaulted-theta rescale
+    path that re-derives theta."""
+
+    def _converged(self, scheme, messages=3000):
+        for _ in range(messages):
+            scheme.route("hot")
+        return scheme.current_solution()
+
+    def test_reset_discards_solution_and_resolves(self):
+        scheme = DChoices(num_workers=20, warmup_messages=0)
+        solved = self._converged(scheme)
+        assert solved.head_cardinality >= 1
+
+        scheme.reset()
+        # Back to the constructor default, not the converged solution.
+        assert scheme.current_solution().head_cardinality == 0
+        assert scheme.current_num_choices() == 2
+        assert scheme._never_solved is True
+
+        # And the next head message triggers a fresh solve on fresh counts.
+        resolved = self._converged(scheme)
+        assert resolved.head_cardinality >= 1
+
+    def test_explicit_theta_rescale_forces_resolve(self):
+        # An explicit theta survives the rescale (no re-derivation), but
+        # the cached solution was solved for the old n and must still be
+        # thrown away.
+        scheme = DChoices(num_workers=4, theta=0.02, warmup_messages=0)
+        before = self._converged(scheme)
+        assert before.head_cardinality >= 1
+
+        scheme.rescale(30)
+        assert scheme.theta == 0.02  # explicit theta kept
+        assert scheme._never_solved is True  # solution invalidated anyway
+
+        after = self._converged(scheme)
+        # The solver ran against the new topology: feasible for n=30, and a
+        # single ~100% key now warrants far more than the 4-worker answer.
+        assert after.use_w_choices or after.num_choices <= 30
+        assert scheme._never_solved is False
+
+    def test_explicit_theta_shrink_rescale_forces_resolve(self):
+        scheme = DChoices(num_workers=30, theta=0.02, warmup_messages=0)
+        self._converged(scheme)
+        scheme.rescale(4)
+        assert scheme.theta == 0.02
+        assert scheme._never_solved is True
+        after = self._converged(scheme)
+        assert after.use_w_choices or after.num_choices <= 4
+
+
+class TestHeadCandidateCache:
+    """The per-head-key candidate tuples are derived from the hash family
+    and the solver's d; both invalidation edges must hold or routing reads
+    stale workers."""
+
+    def test_cache_fills_for_head_keys(self):
+        scheme = DChoices(num_workers=30, warmup_messages=0)
+        keys = list(ZipfWorkload(1.1, 50, 4000, seed=2))
+        scheme.route_batch(keys)
+        if not scheme.current_solution().use_w_choices:
+            assert len(scheme._head_cand_cache) >= 1
+            d = scheme._head_cand_cache_d
+            for candidates in scheme._head_cand_cache.values():
+                # deduplicated, order-preserving, within the worker range
+                assert len(set(candidates)) == len(candidates) <= d
+                assert all(0 <= worker < 30 for worker in candidates)
+
+    def test_rescale_flushes_cached_tuples(self):
+        scheme = FixedDHead(num_workers=16, num_choices=4, warmup_messages=0)
+        for _ in range(500):
+            scheme.route("hot")
+        scheme.route_batch(["hot"] * 64)
+        assert scheme._head_cand_cache
+        scheme.rescale(9)
+        assert not scheme._head_cand_cache  # old tuples point at old workers
+        scheme.route_batch(["hot"] * 64)
+        for candidates in scheme._head_cand_cache.values():
+            assert all(0 <= worker < 9 for worker in candidates)
+
+    def test_reset_flushes_cached_tuples(self):
+        scheme = FixedDHead(num_workers=16, num_choices=4, warmup_messages=0)
+        for _ in range(500):
+            scheme.route("hot")
+        scheme.route_batch(["hot"] * 64)
+        assert scheme._head_cand_cache
+        scheme.reset()
+        assert not scheme._head_cand_cache
+
+    def test_solver_d_change_flushes_lazily(self):
+        scheme = DChoices(num_workers=8, warmup_messages=0)
+        scheme._head_cand_cache_d = 3
+        scheme._head_cand_cache["stale"] = (0, 1, 2)
+        assert scheme._cached_head_candidates("fresh", 5) is not None
+        assert "stale" not in scheme._head_cand_cache
+        assert scheme._head_cand_cache_d == 5
