@@ -12,7 +12,10 @@ A scheme regresses when its measured rate drops more than ``threshold``
 once (e.g. ``--metric batch_speedup batch_msgs_per_sec``) and guards each.
 Exit code 1 on any regression, 0 otherwise.  Rates *above* baseline never
 fail (faster is fine); schemes missing from either file are reported and
-skipped — the guard compares what both measured.
+skipped — the guard compares what both measured.  A ``--metric`` that no
+baseline scheme recorded at all is a hard failure (the guard would
+otherwise pass vacuously, e.g. after a typo or before the baseline was
+regenerated); the error lists the metrics the baseline does carry.
 
 Baselines and CI runners have different hardware, so the default threshold
 is deliberately loose: it catches algorithmic regressions (an accidental
@@ -47,6 +50,25 @@ def compare(
     failures: list[str] = []
     explicit = schemes is not None
     names = schemes or [name for name in baseline if not name.startswith("_")]
+    if not explicit and not any(
+        isinstance(baseline.get(name), dict) and metric in baseline[name]
+        for name in names
+    ):
+        # Nothing to guard is a misconfiguration, not a pass: a metric
+        # typo or a stale baseline must fail loudly, naming what exists.
+        available = sorted(
+            {
+                key
+                for name in names
+                if isinstance(baseline.get(name), dict)
+                for key in baseline[name]
+            }
+        )
+        failures.append(
+            f"metric {metric!r} is absent from every baseline scheme; "
+            f"available metrics: {', '.join(available) if available else '(none)'}"
+        )
+        return failures
     for name in names:
         base_entry = baseline.get(name)
         current_entry = current.get(name)

@@ -1,22 +1,26 @@
 #!/usr/bin/env python
-"""Measure scalar vs batched routing throughput and record the trajectory.
+"""Measure scalar vs batched vs columnar routing throughput.
 
 Runs the ``bench_micro_routing`` workload (Zipf 1.4, 50 workers, 20k
-messages) through every scheme twice — per-message ``route()`` and chunked
-``route_batch()`` — and writes the numbers to ``BENCH_routing.json`` at the
-repository root so future PRs have a perf baseline to regress against::
+messages) through every scheme three times — per-message ``route()``,
+chunked ``route_batch()`` and columnar ``route_batch_columnar()`` over
+pre-interned key-id batches — and writes the numbers to
+``BENCH_routing.json`` at the repository root so future PRs have a perf
+baseline to regress against::
 
     PYTHONPATH=src python benchmarks/run_routing_bench.py
 
 The JSON schema is one entry per scheme::
 
     {"PKG": {"scalar_msgs_per_sec": ..., "batch_msgs_per_sec": ...,
-             "batch_speedup": ...}, ..., "_meta": {...}}
+             "batch_speedup": ..., "columnar_msgs_per_sec": ...,
+             "columnar_speedup": ...}, ..., "_meta": {...}}
 
 End-to-end dataflow throughput (``benchmarks/bench_dataflow.py``, the
 Figure 17 multi-stage topology) is appended under ``DATAFLOW-<scheme>``
-entries with the same shape, so one JSON carries both trajectories; pass
-``--no-dataflow`` to skip it.
+entries with the same shape, and its parameters nest under
+``_meta["dataflow"]`` — one unified ``_meta`` (git commit, date, python,
+numpy) covers everything in the file.  Pass ``--no-dataflow`` to skip it.
 
 The CI bench guard runs this at reduced scale
 (``--messages 10000 --rounds 3 --output bench-current.json``) and compares
@@ -34,7 +38,10 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
+import numpy
+
 from repro.partitioning.registry import create_partitioner
+from repro.workloads.columnar import ColumnarBatch, KeyDictionary
 from repro.workloads.zipf_stream import ZipfWorkload
 
 NUM_WORKERS = 50
@@ -56,8 +63,23 @@ def _best_time(function, rounds: int) -> float:
 def run_bench(num_messages: int = NUM_MESSAGES, rounds: int = ROUNDS) -> dict[str, object]:
     """Measure every scheme and return the BENCH_routing.json payload."""
     keys = list(ZipfWorkload(1.4, 10_000, num_messages, seed=9))
+    # The columnar path's input: the same stream, interned once.  Built
+    # outside the timers like the key list — the source emits id batches
+    # natively in columnar runs, so interning is not a per-route cost.
+    dictionary = KeyDictionary()
+    batches = [
+        ColumnarBatch(
+            dictionary.intern_keys(keys[start : start + BATCH_SIZE]),
+            dictionary,
+            start,
+        )
+        for start in range(0, len(keys), BATCH_SIZE)
+    ]
     results: dict[str, object] = {}
-    print(f"{'scheme':8s} {'scalar msg/s':>14s} {'batch msg/s':>14s} {'speedup':>8s}")
+    print(
+        f"{'scheme':8s} {'scalar msg/s':>14s} {'batch msg/s':>14s} {'speedup':>8s}"
+        f" {'columnar msg/s':>15s} {'speedup':>8s}"
+    )
     for scheme in SCHEMES:
 
         def scalar() -> None:
@@ -71,16 +93,25 @@ def run_bench(num_messages: int = NUM_MESSAGES, rounds: int = ROUNDS) -> dict[st
             for start in range(0, len(keys), BATCH_SIZE):
                 partitioner.route_batch(keys[start : start + BATCH_SIZE])
 
+        def columnar() -> None:
+            partitioner = create_partitioner(scheme, num_workers=NUM_WORKERS, seed=1)
+            for batch in batches:
+                partitioner.route_batch_columnar(batch)
+
         scalar_rate = num_messages / _best_time(scalar, rounds)
         batch_rate = num_messages / _best_time(batched, rounds)
+        columnar_rate = num_messages / _best_time(columnar, rounds)
         results[scheme] = {
             "scalar_msgs_per_sec": round(scalar_rate),
             "batch_msgs_per_sec": round(batch_rate),
             "batch_speedup": round(batch_rate / scalar_rate, 2),
+            "columnar_msgs_per_sec": round(columnar_rate),
+            "columnar_speedup": round(columnar_rate / scalar_rate, 2),
         }
         print(
             f"{scheme:8s} {scalar_rate:>14,.0f} {batch_rate:>14,.0f} "
-            f"{batch_rate / scalar_rate:>7.1f}x"
+            f"{batch_rate / scalar_rate:>7.1f}x {columnar_rate:>15,.0f} "
+            f"{columnar_rate / scalar_rate:>7.1f}x"
         )
 
     results["_meta"] = {
@@ -89,6 +120,7 @@ def run_bench(num_messages: int = NUM_MESSAGES, rounds: int = ROUNDS) -> dict[st
         "batch_size": BATCH_SIZE,
         "rounds": rounds,
         "python": platform.python_version(),
+        "numpy": numpy.__version__,
         # Provenance: which tree produced these numbers and when, so the
         # bench trajectory across PRs stays reconstructible from the JSON
         # alone (see docs/performance.md).
@@ -155,7 +187,13 @@ def main(argv: list[str] | None = None) -> None:
         print("\ndataflow topology (fig17), scalar vs batched:")
         dataflow = run_dataflow_bench(num_posts=max(args.messages // 2, 2_000))
         for name, entry in dataflow.items():
-            results[f"DATAFLOW-{name}" if not name.startswith("_") else "_meta_dataflow"] = entry
+            if name.startswith("_"):
+                # One unified _meta: the dataflow parameters nest under the
+                # provenance-stamped top-level block instead of a second,
+                # stampless _meta_dataflow entry.
+                results["_meta"]["dataflow"] = entry
+            else:
+                results[f"DATAFLOW-{name}"] = entry
     if args.output is not None:
         output = Path(args.output)
     else:

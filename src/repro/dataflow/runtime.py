@@ -15,7 +15,13 @@ machinery:
   ``execute_batch`` (bulk folds).  Deliveries carry their depth-first order,
   so each partitioner and each operator instance observes exactly the
   sub-stream it would under scalar execution: results are byte-identical
-  for every batch size (property-pinned), only the throughput changes.
+  for every batch size (property-pinned), only the throughput changes;
+* **columnar** (``columnar=True``): batched execution whose micro-batches
+  are interned key-id arrays (:class:`~repro.workloads.columnar.ColumnarBatch`)
+  — source edges route ids through ``route_batch_columnar`` and terminal
+  stateful vertices fold their shares in id space via ``execute_batch_ids``,
+  so string keys are hashed exactly once, at interning.  Still
+  byte-identical.
 
 The runtime collects per-vertex metrics (imbalance, per-instance loads,
 state sizes) that mirror what the simulation engine reports for a single
@@ -107,13 +113,17 @@ class _EdgeRouter:
     def route_batch(self, sender: int, keys: list[Key]) -> list[int]:
         return self._partitioners[sender].route_batch(keys)
 
+    def route_batch_columnar(self, sender: int, batch) -> list[int]:
+        return self._partitioners[sender].route_batch_columnar(batch)
+
 
 class TopologyRuntime:
     """Instantiates and runs a validated topology."""
 
     def __init__(self, topology: Topology, seed: int = 0,
                  num_external_sources: int = 1,
-                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 columnar: bool = False) -> None:
         topology.validate()
         if num_external_sources < 1:
             raise ConfigurationError(
@@ -123,10 +133,15 @@ class TopologyRuntime:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {batch_size}"
             )
+        if columnar and batch_size < 2:
+            raise ConfigurationError(
+                "columnar execution requires batch_size > 1"
+            )
         self._topology = topology
         self._seed = seed
         self._num_external_sources = num_external_sources
         self._batch_size = batch_size
+        self._columnar = columnar
         self._instances: dict[str, list[Operator]] = {
             vertex.name: [vertex.factory(i) for i in range(vertex.parallelism)]
             for vertex in topology.vertices.values()
@@ -169,7 +184,9 @@ class TopologyRuntime:
     # ------------------------------------------------------------------ #
     def run(self, workload: Iterable[Key | Message]) -> TopologyResult:
         """Push every message of ``workload`` through the topology."""
-        if self._batch_size == 1:
+        if self._columnar:
+            self._run_columnar(workload)
+        elif self._batch_size == 1:
             self._run_scalar(workload)
         else:
             self._run_batched(workload)
@@ -232,6 +249,46 @@ class TopologyRuntime:
             for offset, raw in enumerate(chunk)
         ]
 
+    def _run_columnar(self, workload: Iterable[Key]) -> None:
+        """Columnar batched execution: interned key-id arrays at the source.
+
+        The workload is consumed through ``iter_batches_columnar`` (native
+        when the workload provides it, the generic chunker otherwise), so
+        string keys are hashed exactly once, at interning.  Source edges
+        route id arrays through ``route_batch_columnar`` and terminal
+        stateful vertices fold their shares in id space via
+        ``execute_batch_ids``; any other downstream consumption decodes the
+        batch once and continues on the ordinary message machinery.
+        Results are byte-identical to the scalar and batched paths.
+
+        Columnar mode treats the workload as a *key* stream (pre-built
+        :class:`Message` inputs belong to the message paths).  Topologies
+        with merge vertices fall back to the order-keyed general path,
+        decoding each batch up front.
+        """
+        if hasattr(workload, "iter_batches_columnar"):
+            batches = workload.iter_batches_columnar(self._batch_size)
+        else:
+            from repro.workloads.columnar import iter_batches_columnar
+
+            batches = iter_batches_columnar(workload, self._batch_size)
+        for batch in batches:
+            if not len(batch):
+                continue
+            if self._merge_free:
+                self._execute_micro_batch_columnar(batch)
+            else:
+                self._execute_micro_batch(batch.keys())
+
+    def _execute_micro_batch_columnar(self, batch) -> None:
+        """One columnar micro-batch through the merge-free stage loop."""
+        base = self._ingested
+        self._ingested += len(batch)
+        pending: list[tuple[object, object] | None] = [None] * len(self._edges)
+        for edge_index in self._source_edge_indices:
+            pending[edge_index] = ("columnar", batch)
+        self._drain_stages(pending, base)
+
     def _execute_micro_batch_merge_free(self, chunk: list[Key | Message]) -> None:
         """Stage-wise micro-batch execution for merge-free topologies.
 
@@ -252,11 +309,23 @@ class TopologyRuntime:
         # payload per edge: (senders, messages) where senders is None for
         # the round-robin external stream, an int when every delivery has
         # the same sender, or a per-delivery worker-id list.
-        pending: list[tuple[object, list[Message]] | None] = (
+        pending: list[tuple[object, object] | None] = (
             [None] * len(self._edges)
         )
         for edge_index in self._source_edge_indices:
             pending[edge_index] = (None, messages)
+        self._drain_stages(pending, base)
+
+    def _drain_stages(
+        self, pending: list[tuple[object, object] | None], base: int
+    ) -> None:
+        """Run the merge-free stage loop over the queued edge payloads.
+
+        A payload is ``(senders, data)``: ``senders`` is ``None`` for the
+        round-robin external message stream, ``"columnar"`` for the external
+        stream as a :class:`ColumnarBatch`, an int when every delivery has
+        the same sender, or a per-delivery sender list.
+        """
         num_sources = self._num_external_sources
         for vertex_name in self._stage_order:
             edge_index = self._incoming[vertex_name][0]
@@ -269,8 +338,38 @@ class TopologyRuntime:
             if not count:
                 continue
             router = self._routers[edge_index]
+            instances = self._instances[vertex_name]
+            outgoing = self._outgoing[vertex_name]
             # --- route: one route_batch call per distinct sender --------- #
-            if senders is None:
+            if senders == "columnar":
+                # The external stream as an id array: per-sender shares are
+                # strided views, routed without any decode.
+                batch = messages
+                if num_sources == 1:
+                    workers = router.route_batch_columnar(0, batch)
+                else:
+                    workers = [0] * count
+                    for sender in range(num_sources):
+                        offset = (sender - base) % num_sources
+                        sub = batch.strided(offset, num_sources)
+                        if len(sub):
+                            workers[offset::num_sources] = (
+                                router.route_batch_columnar(sender, sub)
+                            )
+                if not outgoing and all(
+                    hasattr(instance, "execute_batch_ids")
+                    for instance in instances
+                ):
+                    # Terminal stateful vertex: fold shares in id space —
+                    # no Message objects, one decode per distinct key.
+                    self._fold_terminal_ids(instances, workers, batch)
+                    continue
+                # Anything else consumes messages: decode the batch once.
+                messages = [
+                    Message(timestamp=float(base + offset), key=key)
+                    for offset, key in enumerate(batch.keys())
+                ]
+            elif senders is None:
                 # External round-robin: sender of messages[i] is
                 # (base + i) % num_sources, so each sender's sub-stream is a
                 # strided slice and the routed workers scatter back with a
@@ -308,9 +407,7 @@ class TopologyRuntime:
                     for position, worker in zip(positions, routed):
                         workers[position] = worker
             # --- process: one execute_batch call per active instance ---- #
-            instances = self._instances[vertex_name]
             parallelism = len(instances)
-            outgoing = self._outgoing[vertex_name]
             if parallelism == 1:
                 emitted_by_position = instances[0].execute_batch(messages)
             else:
@@ -363,6 +460,25 @@ class TopologyRuntime:
             # All outgoing edges see the same (read-only) delivery lists.
             for downstream_index in outgoing:
                 pending[downstream_index] = next_payload
+
+    @staticmethod
+    def _fold_terminal_ids(instances, workers: list[int], batch) -> None:
+        """Fold a terminal columnar share per instance, in id space."""
+        ids = batch.ids.tolist()
+        dictionary = batch.dictionary
+        if len(instances) == 1:
+            instances[0].execute_batch_ids(ids, dictionary)
+            return
+        share_groups: list[list[int] | None] = [None] * len(instances)
+        for worker, kid in zip(workers, ids):
+            share = share_groups[worker]
+            if share is None:
+                share_groups[worker] = [kid]
+            else:
+                share.append(kid)
+        for worker, share in enumerate(share_groups):
+            if share is not None:
+                instances[worker].execute_batch_ids(share, dictionary)
 
     def _execute_micro_batch(self, chunk: list[Key | Message]) -> None:
         """Run one micro-batch through the DAG, stage by stage.
@@ -510,12 +626,19 @@ def run_topology(
     seed: int = 0,
     num_external_sources: int = 1,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    columnar: bool = False,
 ) -> TopologyResult:
     """Validate, instantiate and run ``topology`` over ``workload``.
 
     ``batch_size`` controls how many input messages each micro-batch pulls;
     results are byte-identical for every value (1 forces the scalar
     depth-first path), only the throughput changes.
+
+    ``columnar=True`` ingests the workload as interned key-id arrays: the
+    source edges route id arrays and terminal stateful vertices fold their
+    shares in id space — string keys are hashed once and results stay
+    byte-identical.  Columnar mode expects a key stream (not pre-built
+    messages).
 
     Examples
     --------
@@ -532,5 +655,6 @@ def run_topology(
         seed=seed,
         num_external_sources=num_external_sources,
         batch_size=batch_size,
+        columnar=columnar,
     )
     return runtime.run(workload)

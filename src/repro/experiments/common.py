@@ -101,6 +101,7 @@ def route_stream(
     partitioner: Partitioner,
     keys: Iterable[Key],
     batch_size: int = 1024,
+    columnar: bool = False,
 ) -> list[WorkerId]:
     """Route an entire stream through one partitioner, batched.
 
@@ -110,10 +111,26 @@ def route_stream(
     ``route`` loop.  Results are identical to sequential routing for every
     ``batch_size``; a workload's ``iter_batches`` is used when available so
     array-backed streams never materialise per-key.
+
+    With ``columnar=True`` the stream is consumed as interned key-id arrays
+    (``iter_batches_columnar`` when the workload provides it, the generic
+    chunker otherwise) and routed through ``route_batch_columnar`` — string
+    keys are hashed once, at interning, and the worker sequence is still
+    byte-identical.
     """
     if batch_size < 2:
         return [partitioner.route(key) for key in keys]
     out: list[WorkerId] = []
+    if columnar:
+        if hasattr(keys, "iter_batches_columnar"):
+            batches = keys.iter_batches_columnar(batch_size)
+        else:
+            from repro.workloads.columnar import iter_batches_columnar
+
+            batches = iter_batches_columnar(keys, batch_size)
+        for batch in batches:
+            out.extend(partitioner.route_batch_columnar(batch))
+        return out
     if hasattr(keys, "iter_batches"):
         for chunk in keys.iter_batches(batch_size):
             out.extend(partitioner.route_batch(chunk))

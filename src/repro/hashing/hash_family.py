@@ -101,6 +101,31 @@ def stable_hash(key: Key, seed: int = 0) -> int:
     return _splitmix64(_key_to_int(key) ^ _splitmix64(seed & _MASK64))
 
 
+#: A hash family keeps candidate tables for at most this many dictionaries
+#: (FIFO-evicted).  Streams use one dictionary, so this is pure headroom.
+_MAX_ID_TABLES = 4
+
+
+class _IdTable:
+    """Candidate buckets per key id, for one (family, dictionary) pair.
+
+    ``rows[kid, j]`` is the ``j``-th candidate bucket of the key behind id
+    ``kid`` — computed from the dictionary's *folded key*, never from the id
+    itself, so gathers from this table are bit-identical to hashing the
+    original keys.  The table grows lazily (capacity-doubled) as the
+    dictionary interns new keys and is rebuilt wider when a larger ``d`` is
+    requested (candidate tuples are prefix-stable, so a wide table serves
+    every smaller ``d`` by column slicing).
+    """
+
+    __slots__ = ("width", "filled", "rows")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.filled = 0
+        self.rows = np.empty((0, width), dtype=np.int64)
+
+
 class HashFamily:
     """An indexed family of ``d`` independent hash functions onto ``[0, n)``.
 
@@ -165,6 +190,9 @@ class HashFamily:
         # in d, so one cached tuple serves every smaller d via slicing.
         self._int_cache: dict[Key, int] = {}
         self._candidate_cache: dict[Key, tuple[WorkerId, ...]] = {}
+        # Per-dictionary candidate tables for the columnar id fast path,
+        # keyed by KeyDictionary.token (FIFO-bounded; see _id_table).
+        self._id_tables: dict[int, _IdTable] = {}
 
     @property
     def num_functions(self) -> int:
@@ -277,6 +305,64 @@ class HashFamily:
         return bucketed_hash_columns(
             key_ints, self._mixed_seeds_np[:d], self._num_buckets
         )
+
+    def _check_d(self, d: int | None) -> int:
+        if d is None:
+            return self._num_functions
+        if not 1 <= d <= self._num_functions:
+            raise ConfigurationError(
+                f"requested d={d} outside [1, {self._num_functions}]"
+            )
+        return d
+
+    def _id_table(self, dictionary, d: int) -> np.ndarray:
+        """The (grown-to-date) candidate table for ``dictionary``, ≥ ``d`` wide."""
+        tables = self._id_tables
+        table = tables.get(dictionary.token)
+        if table is None or table.width < d:
+            if table is None and len(tables) >= _MAX_ID_TABLES:
+                tables.pop(next(iter(tables)))
+            table = _IdTable(d)
+            tables[dictionary.token] = table
+        size = len(dictionary)
+        if table.filled < size:
+            if size > table.rows.shape[0]:
+                capacity = max(size, table.rows.shape[0] * 2, 1024)
+                grown = np.empty((capacity, table.width), dtype=np.int64)
+                grown[: table.filled] = table.rows[: table.filled]
+                table.rows = grown
+            table.rows[table.filled : size] = bucketed_hashes(
+                dictionary.folded[table.filled : size],
+                self._mixed_seeds_np[: table.width],
+                self._num_buckets,
+            )
+            table.filled = size
+        return table.rows
+
+    def id_candidate_rows(self, ids: np.ndarray, dictionary, d: int | None = None) -> np.ndarray:
+        """Row-major candidate buckets for an id array (columnar fast path).
+
+        ``dictionary`` is the :class:`~repro.workloads.columnar.KeyDictionary`
+        that issued ``ids``.  Equals ``candidates_batch(decoded_keys, d)``
+        bit for bit, but runs as a single table gather: candidates per id
+        are precomputed once into a per-dictionary table (see
+        :class:`_IdTable`) and never recomputed while the family lives.
+        Rescaling recreates the family, which drops the tables — that is the
+        invalidation path.
+        """
+        d = self._check_d(d)
+        return self._id_table(dictionary, d)[ids, :d]
+
+    def id_candidate_columns(self, ids: np.ndarray, dictionary, d: int | None = None) -> list[list[int]]:
+        """Column-major :meth:`id_candidate_rows` (allocation-free walking)."""
+        d = self._check_d(d)
+        rows = self._id_table(dictionary, d)
+        return [rows[ids, j].tolist() for j in range(d)]
+
+    def candidates_for_id(self, kid: int, dictionary, d: int | None = None) -> tuple[WorkerId, ...]:
+        """Scalar :meth:`candidates` addressed by key id."""
+        d = self._check_d(d)
+        return tuple(self._id_table(dictionary, d)[kid, :d].tolist())
 
     def _intern_key(self, key: Key) -> int:
         """``_key_to_int`` with FIFO-bounded memoisation."""

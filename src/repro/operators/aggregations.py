@@ -45,6 +45,21 @@ class CountAggregator(StatefulOperator):
         for key, added in counts.items():
             state.put(key, (state.peek(key) or 0) + added)
 
+    def update_batch_ids(self, ids, dictionary) -> None:
+        """Bulk count over interned key-ids: one Counter pass in id space,
+        then one decode and one state access per *distinct* key.
+
+        ``Counter`` iterates in first-arrival order (dict insertion order),
+        so new keys enter the state exactly where the scalar loop would put
+        them.
+        """
+        counts = Counter(ids)
+        state = self.state
+        key_of = dictionary.key_of
+        for kid, added in counts.items():
+            key = key_of(kid)
+            state.put(key, (state.peek(key) or 0) + added)
+
     def result(self, key: Key) -> int:
         return int(self.state.peek(key) or 0)
 

@@ -199,6 +199,33 @@ class StatefulOperator(Operator):
         for key, value in items:
             update(key, value)
 
+    def execute_batch_ids(self, ids: Sequence[int], dictionary) -> None:
+        """Fold a terminal columnar share: interned key-ids, no messages.
+
+        The columnar dataflow runtime calls this on terminal stateful
+        vertices so the whole share is pre-reduced in id space — no Message
+        objects, no per-message decode.  ``dictionary`` is the stream's
+        :class:`~repro.workloads.columnar.KeyDictionary`.  Values are
+        ``None`` (key-only ingestion), exactly as when raw keys are wrapped
+        into messages.
+        """
+        self._processed += len(ids)
+        self.update_batch_ids(ids, dictionary)
+
+    def update_batch_ids(self, ids: Sequence[int], dictionary) -> None:
+        """Fold a batch of interned key-ids into the state (value ``None``).
+
+        The default decodes each id and delegates to :meth:`update`;
+        aggregators whose fold is exact under pre-reduction override it to
+        reduce per distinct id before touching the state.  Overrides must
+        leave the state exactly as the scalar loop over the decoded keys
+        would — including dict insertion order.
+        """
+        update = self.update
+        key_of = dictionary.key_of
+        for kid in ids:
+            update(key_of(kid), None)
+
     def process(self, message: Message) -> Iterable[Message]:
         self.update(message.key, message.value)
         return ()

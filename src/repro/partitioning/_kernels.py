@@ -1,0 +1,49 @@
+"""Optional compiled kernels for the routing hot loops.
+
+The two-choice tail scan (PKG and the head/tail schemes' tail path) is a
+data-dependent loop — each selection updates the load vector the next one
+reads — so it cannot vectorize in numpy.  When `numba` is installed **and**
+the environment opts in with ``REPRO_NUMBA=1``, the scan JIT-compiles to
+native code; otherwise the pure-Python loop (the reference implementation,
+property-pinned byte-identical) is used.
+
+The opt-in knob exists because JIT warm-up costs seconds — worthwhile for
+long benchmark runs, pure overhead for the test suite — and because the
+container images used for CI do not ship numba at all.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["two_choice_scan", "KERNELS_ENABLED"]
+
+#: ``f(firsts, seconds, loads) -> workers`` — selects the less-loaded of the
+#: two int64 candidate columns per message, updating ``loads`` (int64 array)
+#: in place.  ``None`` when the compiled path is unavailable or disabled.
+two_choice_scan = None
+
+KERNELS_ENABLED = os.environ.get("REPRO_NUMBA", "") == "1"
+
+if KERNELS_ENABLED:  # pragma: no cover - exercised only with numba installed
+    try:
+        import numba
+    except ImportError:
+        KERNELS_ENABLED = False
+    else:
+        @numba.njit(cache=True)
+        def _two_choice_scan(
+            firsts: np.ndarray, seconds: np.ndarray, loads: np.ndarray
+        ) -> np.ndarray:
+            out = np.empty(firsts.size, dtype=np.int64)
+            for i in range(firsts.size):
+                first = firsts[i]
+                second = seconds[i]
+                worker = first if loads[first] <= loads[second] else second
+                loads[worker] += 1
+                out[i] = worker
+            return out
+
+        two_choice_scan = _two_choice_scan

@@ -142,6 +142,21 @@ class Partitioner(abc.ABC):
                 flag(decision.is_head)
         return out
 
+    def route_batch_columnar(
+        self, batch, head_flags: list[bool] | None = None
+    ) -> list[WorkerId]:
+        """Route one :class:`~repro.workloads.columnar.ColumnarBatch`.
+
+        Contract: identical workers, loads and head flags as
+        ``route_batch(batch.keys(), head_flags)`` — the columnar
+        representation is pure optimisation.  The base implementation decodes
+        and delegates, which is always correct; schemes override it to route
+        straight off the id array (hashing through the per-id candidate
+        tables of :class:`~repro.hashing.hash_family.HashFamily`, which hash
+        the dictionary's *folded keys*, so results stay bit-identical).
+        """
+        return self.route_batch(batch.keys(), head_flags=head_flags)
+
     def route_with_decision(self, key: Key) -> RoutingDecision:
         """Like :meth:`route` but returns the full :class:`RoutingDecision`."""
         decision = self._select(key)

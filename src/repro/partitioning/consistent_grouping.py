@@ -32,9 +32,18 @@ class ConsistentGrouping(Partitioner):
 
     name = "CH"
 
+    #: Cap on the per-id owner cache of the columnar path (FIFO-evicted).
+    _ID_OWNER_CACHE_LIMIT = 1 << 16
+
     def __init__(self, num_workers: int, seed: int = 0, replicas: int = 64) -> None:
         super().__init__(num_workers, seed)
         self._ring = ConsistentHashRing(range(num_workers), replicas=replicas, seed=seed)
+        # Columnar fast path: ring lookups memoised per key id.  The cache
+        # is only valid for one (dictionary, ring-layout) pair; _ring_epoch
+        # advances on every ring mutation to invalidate it.
+        self._ring_epoch = 0
+        self._id_owner_cache: dict[int, WorkerId] = {}
+        self._id_owner_tag: tuple[int, int] | None = None
 
     @property
     def ring(self) -> ConsistentHashRing:
@@ -44,10 +53,39 @@ class ConsistentGrouping(Partitioner):
         worker = self._ring.lookup(key)
         return RoutingDecision(key=key, worker=worker, candidates=(worker,))
 
+    def route_batch_columnar(self, batch, head_flags=None):
+        dictionary = batch.dictionary
+        tag = (dictionary.token, self._ring_epoch)
+        cache = self._id_owner_cache
+        if self._id_owner_tag != tag:
+            cache.clear()
+            self._id_owner_tag = tag
+        lookup = self._ring.lookup
+        key_of = dictionary.key_of
+        limit = self._ID_OWNER_CACHE_LIMIT
+        state = self._state
+        loads = state.loads
+        out: list[WorkerId] = []
+        append = out.append
+        for kid in batch.ids.tolist():
+            worker = cache.get(kid)
+            if worker is None:
+                worker = lookup(key_of(kid))
+                if len(cache) >= limit:
+                    cache.pop(next(iter(cache)))
+                cache[kid] = worker
+            loads[worker] += 1
+            append(worker)
+        state.messages_routed += len(out)
+        if head_flags is not None:
+            head_flags.extend([False] * len(out))
+        return out
+
     def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
         # The whole point of the ring: joining workers only steal the arcs
         # of their own virtual nodes, leaving workers only release theirs —
         # every other key keeps its owner.
+        self._ring_epoch += 1
         if new_num_workers > old_num_workers:
             for worker in range(old_num_workers, new_num_workers):
                 if worker not in self._ring:
@@ -70,6 +108,7 @@ class ConsistentGrouping(Partitioner):
             raise ConfigurationError(
                 f"worker {worker} outside [0, {self.num_workers})"
             )
+        self._ring_epoch += 1
         self._ring.remove_worker(worker)
 
     def restore_worker(self, worker: WorkerId) -> None:
@@ -78,4 +117,5 @@ class ConsistentGrouping(Partitioner):
             raise ConfigurationError(
                 f"worker {worker} outside [0, {self.num_workers})"
             )
+        self._ring_epoch += 1
         self._ring.add_worker(worker)

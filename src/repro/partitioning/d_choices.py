@@ -218,6 +218,10 @@ class DChoices(HeadTailPartitioner):
         self._maybe_recompute()
         return self._select_head_worker_solved(key)
 
+    def _select_head_worker_id(self, kid: int) -> WorkerId:
+        self._maybe_recompute()
+        return self._select_head_worker_solved_id(kid)
+
     def _select_head_worker_solved(self, key: Key) -> WorkerId:
         # Same logic as _select_head without the RoutingDecision or the
         # solver throttle: selection against the *current* solution.  The
@@ -239,16 +243,43 @@ class DChoices(HeadTailPartitioner):
                 best_load = load
         return best
 
+    def _select_head_worker_solved_id(self, kid: int) -> WorkerId:
+        # Id-addressed twin of _select_head_worker_solved: candidates come
+        # from the id-keyed cache (backed by the per-id table), selection is
+        # identical.
+        loads = self._state.loads
+        if self._solution.use_w_choices:
+            return loads.index(min(loads))
+        candidates = self._cached_head_candidates_id(
+            kid, max(2, self._solution.num_choices)
+        )
+        best = candidates[0]
+        best_load = loads[best]
+        for candidate in candidates[1:]:
+            load = loads[candidate]
+            if load < best_load:
+                best = candidate
+                best_load = load
+        return best
+
     def _head_selection(self) -> tuple[str, int]:
         solution = self._solution
         if solution.use_w_choices:
             return ("all", 0)
         return ("d", max(2, solution.num_choices))
 
-    def route_batch(
-        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+    def _route_batch_impl(
+        self,
+        keys: Sequence[Key],
+        head_flags: list[bool] | None,
+        id_mode: bool,
     ) -> list[WorkerId]:
         """Batched D-Choices: classified runs split at solver checkpoints.
+
+        Serves both representations — ``keys`` are interned ids when
+        ``id_mode`` is set (``route_batch_columnar`` binds the dictionary
+        before delegating here); the head/tail split, the checkpoint
+        arithmetic and the sketch feed are representation-agnostic.
 
         The head path reads the sketch and the message counter through the
         solver throttle, so the chunk cannot simply be classified in one
@@ -291,7 +322,7 @@ class DChoices(HeadTailPartitioner):
                 block = keys[position:]
                 tail_keys: list[Key] = []
                 runs = self._classify_runs(block, tail_keys)
-                self._route_runs(block, runs, tail_keys, out)
+                self._route_runs(block, runs, tail_keys, out, id_mode)
                 if flags_out is not None:
                     flags_out.extend(runs_to_flags(runs))
                 break
@@ -301,7 +332,7 @@ class DChoices(HeadTailPartitioner):
                 block = keys[position:checkpoint]
                 tail_keys = []
                 runs = self._classify_runs(block, tail_keys)
-                self._route_runs(block, runs, tail_keys, out)
+                self._route_runs(block, runs, tail_keys, out, id_mode)
                 if flags_out is not None:
                     flags_out.extend(runs_to_flags(runs))
                 position = checkpoint
@@ -312,16 +343,19 @@ class DChoices(HeadTailPartitioner):
             flags = self._classify_batch(scan, stop_at_head=True, tail_out=tail_prefix)
             fed = len(flags)
             if flags and flags[-1]:
-                self._route_tail_span(tail_prefix, out)
+                self._route_tail_span(tail_prefix, out, id_mode)
                 head_position = position + fed - 1
                 self._maybe_recompute_at(routed_before + head_position)
-                worker = self._select_head_worker_solved(keys[head_position])
+                if id_mode:
+                    worker = self._select_head_worker_solved_id(keys[head_position])
+                else:
+                    worker = self._select_head_worker_solved(keys[head_position])
                 state.loads[worker] += 1
                 out.append(worker)
                 position = head_position + 1
             else:
                 # No head key in the rest of the chunk: all tail.
-                self._route_tail_span(tail_prefix, out)
+                self._route_tail_span(tail_prefix, out, id_mode)
                 position += fed
             if flags_out is not None:
                 flags_out.extend(flags)

@@ -74,6 +74,10 @@ class FixedDHead(HeadTailPartitioner):
         candidates = self._cached_head_candidates(key, self._num_choices)
         return self._least_loaded(candidates)
 
+    def _select_head_worker_id(self, kid: int) -> WorkerId:
+        candidates = self._cached_head_candidates_id(kid, self._num_choices)
+        return self._least_loaded(candidates)
+
     def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
         super()._rescale_structures(old_num_workers, new_num_workers)
         self._num_choices = min(self._requested_choices, new_num_workers)

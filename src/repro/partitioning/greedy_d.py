@@ -77,6 +77,17 @@ class GreedyD(Partitioner):
         self, keys: Sequence[Key], head_flags: list[bool] | None = None
     ) -> list[WorkerId]:
         rows = self._hashes.candidates_batch(keys, self._num_choices).tolist()
+        return self._route_candidate_rows(rows, head_flags)
+
+    def route_batch_columnar(self, batch, head_flags=None):
+        rows = self._hashes.id_candidate_rows(
+            batch.ids, batch.dictionary, self._num_choices
+        ).tolist()
+        return self._route_candidate_rows(rows, head_flags)
+
+    def _route_candidate_rows(
+        self, rows: list[list[int]], head_flags: list[bool] | None
+    ) -> list[WorkerId]:
         state = self._state
         loads = state.loads
         out: list[WorkerId] = []

@@ -19,6 +19,8 @@ import math
 from itertools import chain
 from typing import Sequence
 
+import numpy as np
+
 from repro.analysis.bounds import theta_range
 from repro.exceptions import ConfigurationError
 from repro.hashing.hash_family import HashFamily
@@ -98,6 +100,14 @@ class HeadTailPartitioner(Partitioner):
         # and whenever the hash family is rebuilt (rescale).
         self._head_cand_cache: dict[Key, tuple[WorkerId, ...]] = {}
         self._head_cand_cache_d = 0
+        # Columnar state.  In id mode the *sketch* holds key ids, so public
+        # key-based probes (is_head, current_head) translate through the
+        # bound dictionary; the head candidate cache gets an id-keyed twin
+        # because a key id is an int that could numerically collide with an
+        # integer workload key — the two namespaces must never share a dict.
+        self._id_dict = None
+        self._head_cand_cache_ids: dict[int, tuple[WorkerId, ...]] = {}
+        self._head_cand_cache_ids_d = 0
 
     # ------------------------------------------------------------------ #
     # public knobs / introspection
@@ -111,18 +121,33 @@ class HeadTailPartitioner(Partitioner):
         return self._sketch
 
     def current_head(self) -> dict[Key, int]:
-        """The sketch's current estimate of the head (key -> estimated count)."""
-        return self._sketch.heavy_hitters(self._theta)
+        """The sketch's current estimate of the head (key -> estimated count).
+
+        In columnar (id) mode the sketch tracks key ids; the result is
+        decoded back to keys so callers always see the key namespace.
+        """
+        head = self._sketch.heavy_hitters(self._theta)
+        if self._id_dict is not None:
+            key_of = self._id_dict.key_of
+            return {key_of(kid): count for kid, count in head.items()}
+        return head
 
     def is_head(self, key: Key) -> bool:
         """Whether ``key`` currently qualifies as a heavy hitter.
 
         Membership uses the sketch estimate directly (estimate >= theta *
         total), so the check is O(1) — no need to materialise the whole head
-        on every message.
+        on every message.  In columnar mode the key is translated to its id
+        first; probing the sketch with the raw key would be wrong even when
+        the key is an int that happens to equal some id.
         """
         if self._sketch.total < self._warmup_messages:
             return False
+        if self._id_dict is not None:
+            kid = self._id_dict.lookup(key)
+            if kid is None:
+                return False
+            return self._sketch.estimate(kid) >= self._theta * self._sketch.total
         return self._sketch.estimate(key) >= self._theta * self._sketch.total
 
     # ------------------------------------------------------------------ #
@@ -191,19 +216,53 @@ class HeadTailPartitioner(Partitioner):
         path fall back to the interleaved per-message loop, which feeds the
         sketch in stream order.
         """
+        return self._route_batch_impl(keys, head_flags, False)
+
+    def route_batch_columnar(self, batch, head_flags=None):
+        """Columnar Algorithm 1: the whole pipeline runs on key ids.
+
+        The sketch is key-agnostic (SpaceSaving decisions depend only on
+        identity, and id <-> key is a bijection), so classification over ids
+        produces the same head/tail flags; hashing goes through the per-id
+        candidate tables, which hash the dictionary's folded keys — the
+        worker sequence is byte-identical to ``route_batch(batch.keys())``.
+        A partitioner is bound to one dictionary per sketch lifetime; call
+        :meth:`reset` before switching streams.
+        """
+        self._bind_dictionary(batch.dictionary)
+        return self._route_batch_impl(batch.ids.tolist(), head_flags, True)
+
+    def _bind_dictionary(self, dictionary) -> None:
+        if self._id_dict is dictionary:
+            return
+        if self._id_dict is not None:
+            # Ids are dictionary-relative: a new dictionary invalidates the
+            # id-keyed candidate cache.  (The sketch still holds old-stream
+            # ids — mixing dictionaries without reset() is unsupported.)
+            self._head_cand_cache_ids.clear()
+            self._head_cand_cache_ids_d = 0
+        self._id_dict = dictionary
+
+    def _route_batch_impl(
+        self, keys: Sequence[Key], head_flags: list[bool] | None, id_mode: bool
+    ) -> list[WorkerId]:
+        """Shared batch driver; ``keys`` are ids when ``id_mode`` is set."""
         if self._head_path_chunk_safe:
             tail_keys: list[Key] = []
             runs = self._classify_runs(keys, tail_keys)
             out: list[WorkerId] = []
-            self._route_runs(keys, runs, tail_keys, out)
+            self._route_runs(keys, runs, tail_keys, out, id_mode)
             self._state.messages_routed += len(out)
             if head_flags is not None:
                 head_flags.extend(runs_to_flags(runs))
             return out
-        return self._route_batch_interleaved(keys, head_flags)
+        return self._route_batch_interleaved(keys, head_flags, id_mode)
 
     def _route_batch_interleaved(
-        self, keys: Sequence[Key], head_flags: list[bool] | None = None
+        self,
+        keys: Sequence[Key],
+        head_flags: list[bool] | None = None,
+        id_mode: bool = False,
     ) -> list[WorkerId]:
         """Per-message batch loop: vectorized tail hashing, live bookkeeping.
 
@@ -216,13 +275,18 @@ class HeadTailPartitioner(Partitioner):
         per message only for schemes that read it mid-batch (see
         ``_head_reads_message_count``).
         """
-        pairs = self._hashes.candidates_batch(keys, 2).tolist()
+        if id_mode:
+            pairs = self._hashes.id_candidate_rows(
+                np.asarray(keys, dtype=np.int64), self._id_dict, 2
+            ).tolist()
+        else:
+            pairs = self._hashes.candidates_batch(keys, 2).tolist()
         state = self._state
         loads = state.loads
         sketch = self._sketch
         theta = self._theta
         warmup = self._warmup_messages
-        select_head = self._select_head_worker
+        select_head = self._select_head_worker_id if id_mode else self._select_head_worker
         live_count = self._head_reads_message_count
         flag = head_flags.append if head_flags is not None else None
         out: list[WorkerId] = []
@@ -344,6 +408,7 @@ class HeadTailPartitioner(Partitioner):
         runs: Sequence[int],
         tail_keys: Sequence[Key],
         out: list[WorkerId],
+        id_mode: bool = False,
     ) -> None:
         """Route a run-length-classified chunk, appending to ``out``.
 
@@ -363,10 +428,15 @@ class HeadTailPartitioner(Partitioner):
             # remnants): the fixed setup of the vectorized path — numpy
             # round trip, argmin-queue seeding — costs more than routing
             # the handful of messages against the scalar helpers.
-            self._route_runs_scalar(keys, runs, out)
+            self._route_runs_scalar(keys, runs, out, id_mode)
             return
         if tail_keys:
-            firsts, seconds = self._hashes.candidates_batch_columns(tail_keys, 2)
+            if id_mode:
+                firsts, seconds = self._hashes.id_candidate_columns(
+                    np.asarray(tail_keys, dtype=np.int64), self._id_dict, 2
+                )
+            else:
+                firsts, seconds = self._hashes.candidates_batch_columns(tail_keys, 2)
         else:
             firsts = seconds = ()
         # One sentinel pair past the real tails pairs the trailing head run
@@ -403,12 +473,19 @@ class HeadTailPartitioner(Partitioner):
             # _cached_head_candidates, the single home of the dedupe /
             # FIFO-eviction logic (its re-check of the tag is then a no-op).
             num_choices = max(2, min(num_choices, self.num_workers))
-            cache = self._head_cand_cache
-            if num_choices != self._head_cand_cache_d:
-                cache.clear()
-                self._head_cand_cache_d = num_choices
+            if id_mode:
+                cache = self._head_cand_cache_ids
+                if num_choices != self._head_cand_cache_ids_d:
+                    cache.clear()
+                    self._head_cand_cache_ids_d = num_choices
+                cached_candidates = self._cached_head_candidates_id
+            else:
+                cache = self._head_cand_cache
+                if num_choices != self._head_cand_cache_d:
+                    cache.clear()
+                    self._head_cand_cache_d = num_choices
+                cached_candidates = self._cached_head_candidates
             cache_get = cache.get
-            cached_candidates = self._cached_head_candidates
             stream_at = 0
             for run, first, second in paired:
                 while run:
@@ -435,7 +512,9 @@ class HeadTailPartitioner(Partitioner):
                 loads[worker] += 1
                 append(worker)
         else:
-            select_head = self._select_head_worker
+            select_head = (
+                self._select_head_worker_id if id_mode else self._select_head_worker
+            )
             stream_at = 0
             for run, first, second in paired:
                 while run:
@@ -452,12 +531,26 @@ class HeadTailPartitioner(Partitioner):
                 append(worker)
 
     def _route_runs_scalar(
-        self, keys: Sequence[Key], runs: Sequence[int], out: list[WorkerId]
+        self,
+        keys: Sequence[Key],
+        runs: Sequence[int],
+        out: list[WorkerId],
+        id_mode: bool = False,
     ) -> None:
         """Scalar fallback of :meth:`_route_runs` for short fragments."""
         loads = self._state.loads
         append = out.append
-        candidates_of = self._hashes.candidates
+        if id_mode:
+            family = self._hashes
+            id_dict = self._id_dict
+            tail_candidates = lambda key: family.candidates_for_id(key, id_dict, 2)
+            head_cached = self._cached_head_candidates_id
+            select_head = self._select_head_worker_id
+        else:
+            family_candidates = self._hashes.candidates
+            tail_candidates = lambda key: family_candidates(key, 2)
+            head_cached = self._cached_head_candidates
+            select_head = self._select_head_worker
         mode, num_choices = self._head_selection()
         run_iter = iter(runs)
         run = next(run_iter)
@@ -467,14 +560,12 @@ class HeadTailPartitioner(Partitioner):
                 if mode == "all":
                     worker = loads.index(min(loads))
                 elif mode == "d":
-                    worker = self._least_loaded(
-                        self._cached_head_candidates(key, num_choices)
-                    )
+                    worker = self._least_loaded(head_cached(key, num_choices))
                 else:
-                    worker = self._select_head_worker(key)
+                    worker = select_head(key)
             else:
                 run = next(run_iter)
-                first, second = candidates_of(key, 2)
+                first, second = tail_candidates(key)
                 worker = first if loads[first] <= loads[second] else second
             loads[worker] += 1
             append(worker)
@@ -523,7 +614,39 @@ class HeadTailPartitioner(Partitioner):
             cache[key] = candidates
         return candidates
 
-    def _route_tail_span(self, tail_keys: Sequence[Key], out: list[WorkerId]) -> None:
+    def _cached_head_candidates_id(
+        self, kid: int, num_choices: int
+    ) -> tuple[WorkerId, ...]:
+        """Id-keyed twin of :meth:`_cached_head_candidates` (columnar path).
+
+        Kept strictly separate from the key-keyed cache: an id is a plain
+        int that may numerically equal an integer workload key, and the two
+        must never alias.  Candidates come from the per-id table, so they
+        equal the key-path tuples bit for bit.
+        """
+        num_choices = max(2, min(num_choices, self.num_workers))
+        cache = self._head_cand_cache_ids
+        if num_choices != self._head_cand_cache_ids_d:
+            cache.clear()
+            self._head_cand_cache_ids_d = num_choices
+        candidates = cache.get(kid)
+        if candidates is None:
+            candidates = tuple(
+                dict.fromkeys(
+                    self._hashes.candidates_for_id(kid, self._id_dict, num_choices)
+                )
+            )
+            if len(cache) >= self._HEAD_CANDIDATE_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[kid] = candidates
+        return candidates
+
+    def _route_tail_span(
+        self,
+        tail_keys: Sequence[Key],
+        out: list[WorkerId],
+        id_mode: bool = False,
+    ) -> None:
         """Route a run of tail-classified keys (two-choice), appending to
         ``out``.
 
@@ -537,14 +660,28 @@ class HeadTailPartitioner(Partitioner):
         loads = self._state.loads
         append = out.append
         if len(tail_keys) <= 24:
-            candidates_of = self._hashes.candidates
-            for key in tail_keys:
-                first, second = candidates_of(key, 2)
-                worker = first if loads[first] <= loads[second] else second
-                loads[worker] += 1
-                append(worker)
+            if id_mode:
+                family = self._hashes
+                id_dict = self._id_dict
+                for key in tail_keys:
+                    first, second = family.candidates_for_id(key, id_dict, 2)
+                    worker = first if loads[first] <= loads[second] else second
+                    loads[worker] += 1
+                    append(worker)
+            else:
+                candidates_of = self._hashes.candidates
+                for key in tail_keys:
+                    first, second = candidates_of(key, 2)
+                    worker = first if loads[first] <= loads[second] else second
+                    loads[worker] += 1
+                    append(worker)
             return
-        firsts, seconds = self._hashes.candidates_batch_columns(tail_keys, 2)
+        if id_mode:
+            firsts, seconds = self._hashes.id_candidate_columns(
+                np.asarray(tail_keys, dtype=np.int64), self._id_dict, 2
+            )
+        else:
+            firsts, seconds = self._hashes.candidates_batch_columns(tail_keys, 2)
         for first, second in zip(firsts, seconds):
             worker = first if loads[first] <= loads[second] else second
             loads[worker] += 1
@@ -570,6 +707,16 @@ class HeadTailPartitioner(Partitioner):
         """
         return self._select_head(key).worker
 
+    def _select_head_worker_id(self, kid: int) -> WorkerId:
+        """Head placement addressed by key id ("call"-mode columnar path).
+
+        The default decodes and delegates — correct for any scheme.
+        Subclasses whose head selection ignores the key (Round-Robin) or is
+        id-addressable (D-Choices' solved selector) override to skip the
+        decode.
+        """
+        return self._select_head_worker(self._id_dict.key_of(kid))
+
     def reset(self) -> None:
         super().reset()
         # Every built-in sketch resets in place; injected estimators without
@@ -582,6 +729,9 @@ class HeadTailPartitioner(Partitioner):
         # whatever population the new stream brings.
         self._head_cand_cache.clear()
         self._head_cand_cache_d = 0
+        self._head_cand_cache_ids.clear()
+        self._head_cand_cache_ids_d = 0
+        self._id_dict = None
 
     def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
         """Incremental rescale: new hash family, *preserved* head table.
@@ -610,9 +760,14 @@ class HeadTailPartitioner(Partitioner):
         )
         # The hash family above was just rebuilt for the new bucket count:
         # every cached head candidate tuple now points at pre-rescale
-        # workers and must go, whatever d it was derived for.
+        # workers and must go, whatever d it was derived for.  (The rebuild
+        # also drops the old family's per-id candidate tables — that is the
+        # columnar invalidation path.)  The dictionary binding survives: the
+        # sketch still holds this stream's ids.
         self._head_cand_cache.clear()
         self._head_cand_cache_d = 0
+        self._head_cand_cache_ids.clear()
+        self._head_cand_cache_ids_d = 0
 
     def _ensure_sketch_capacity(self) -> None:
         """Grow the sketch when the current theta needs more counters.

@@ -56,13 +56,24 @@ class KeyGrouping(Partitioner):
         # KG is stateless per message, so the whole batch vectorizes: one
         # hashing pass, one bincount to update the load vector.
         workers = self._hashes.candidates_batch(keys, 1)[:, 0]
+        return self._record_worker_array(workers, head_flags)
+
+    def route_batch_columnar(self, batch, head_flags=None):
+        # The columnar path replaces the hashing pass with a table gather.
+        workers = self._hashes.id_candidate_rows(batch.ids, batch.dictionary, 1)[:, 0]
+        return self._record_worker_array(workers, head_flags)
+
+    def _record_worker_array(
+        self, workers: np.ndarray, head_flags: list[bool] | None
+    ) -> list[WorkerId]:
         state = self._state
         counts = np.bincount(workers, minlength=self._num_workers).tolist()
         loads = state.loads
         for worker, count in enumerate(counts):
             if count:
                 loads[worker] += count
-        state.messages_routed += len(keys)
+        count = int(workers.size)
+        state.messages_routed += count
         if head_flags is not None:
-            head_flags.extend([False] * len(keys))
+            head_flags.extend([False] * count)
         return workers.tolist()

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.hashing.hash_family import HashFamily
+from repro.partitioning._kernels import two_choice_scan
 from repro.partitioning.base import Partitioner
 from repro.types import Key, RoutingDecision, WorkerId
 
@@ -63,6 +66,37 @@ class PartialKeyGrouping(Partitioner):
         # list per message, walked with zip (whose result tuple CPython
         # recycles) — the selection loop allocates nothing per message.
         firsts, seconds = self._hashes.candidates_batch_columns(keys, 2)
+        return self._two_choice_select(firsts, seconds, head_flags)
+
+    def route_batch_columnar(self, batch, head_flags=None):
+        # Candidates come from the per-id table (one gather per column, no
+        # re-hashing); when the optional numba kernel is enabled the whole
+        # selection scan runs compiled.
+        if two_choice_scan is not None and len(batch):
+            rows = self._hashes.id_candidate_rows(batch.ids, batch.dictionary, 2)
+            state = self._state
+            load_array = np.asarray(state.loads, dtype=np.int64)
+            workers = two_choice_scan(
+                np.ascontiguousarray(rows[:, 0]),
+                np.ascontiguousarray(rows[:, 1]),
+                load_array,
+            )
+            state.loads[:] = load_array.tolist()
+            state.messages_routed += len(batch)
+            if head_flags is not None:
+                head_flags.extend([False] * len(batch))
+            return workers.tolist()
+        firsts, seconds = self._hashes.id_candidate_columns(
+            batch.ids, batch.dictionary, 2
+        )
+        return self._two_choice_select(firsts, seconds, head_flags)
+
+    def _two_choice_select(
+        self,
+        firsts: list[int],
+        seconds: list[int],
+        head_flags: list[bool] | None,
+    ) -> list[WorkerId]:
         state = self._state
         loads = state.loads
         out: list[WorkerId] = []

@@ -44,6 +44,10 @@ class RoundRobinHead(HeadTailPartitioner):
         self._next_worker = (worker + 1) % self.num_workers
         return worker
 
+    def _select_head_worker_id(self, kid: int) -> WorkerId:
+        # The cursor ignores the key entirely — no decode needed.
+        return self._select_head_worker(kid)
+
     def reset(self) -> None:
         super().reset()
         self._next_worker = 0

@@ -62,6 +62,10 @@ class ShuffleGrouping(Partitioner):
             head_flags.extend([False] * count)
         return out
 
+    def route_batch_columnar(self, batch, head_flags=None):
+        # route_batch only looks at len(keys); the id array serves as-is.
+        return self.route_batch(batch.ids, head_flags=head_flags)
+
     def reset(self) -> None:
         super().reset()
         self._next = self.seed % self.num_workers

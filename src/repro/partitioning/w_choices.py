@@ -50,3 +50,8 @@ class WChoices(HeadTailPartitioner):
     def _select_head_worker(self, key: Key) -> WorkerId:
         loads = self._state.loads
         return loads.index(min(loads))
+
+    def _select_head_worker_id(self, kid: int) -> WorkerId:
+        # Placement reads only the load vector — no decode needed.
+        loads = self._state.loads
+        return loads.index(min(loads))

@@ -48,6 +48,15 @@ class SimulationConfig:
         (sources are independent; only the hashing is amortised).  1 forces
         the scalar path; the default keeps per-chunk working memory small
         while amortising the vectorized hashing.
+    columnar:
+        When True the engine consumes the workload through
+        ``iter_batches_columnar`` — interned key-id arrays instead of key
+        lists — and routes via ``route_batch_columnar``.  String keys are
+        hashed exactly once (at interning); every layer downstream works on
+        integer ids.  Results are byte-identical to the scalar and batched
+        paths; worker-side key state and migration accounting operate in id
+        space (a bijection over the keys actually seen).  Workloads without
+        a native columnar iterator are wrapped transparently.
     rescale_plan:
         Optional elasticity schedule: a
         :class:`~repro.elasticity.events.RescalePlan` or a spec string like
@@ -70,6 +79,7 @@ class SimulationConfig:
     track_interval: int = 0
     track_head_tail: bool = False
     batch_size: int = 1024
+    columnar: bool = False
     rescale_plan: RescalePlan | str | None = None
     rescale_policy: str = "rehash"
     migration_window: int = 1000

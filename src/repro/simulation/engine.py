@@ -66,6 +66,9 @@ class SimulationEngine:
             set() for _ in range(config.num_workers)
         ]
         self._head_keys: set[Key] = set()
+        # In columnar mode the worker-side key state holds interned ids;
+        # this is the dictionary that decodes them (None in scalar mode).
+        self._columnar_dict = None
         # Elasticity: the pending event schedule and the cost accountant
         # (both None/empty in the paper's fixed-worker setting).
         plan = config.rescale_plan
@@ -135,8 +138,15 @@ class SimulationEngine:
         Sources share no state, so the per-source key subsequences — and
         therefore every routing decision and every recorded metric — are
         identical to one-at-a-time routing.
+
+        With ``config.columnar`` the same chunking runs over interned key-id
+        arrays (:class:`~repro.workloads.columnar.ColumnarBatch`) and the
+        sources route through ``route_batch_columnar`` — still byte-identical,
+        but string keys are hashed only once, at interning.
         """
-        if self._config.batch_size > 1:
+        if self._config.columnar:
+            index = self._run_columnar(keys)
+        elif self._config.batch_size > 1:
             index = self._run_batched(keys)
         else:
             index = self._run_sequential(keys)
@@ -209,6 +219,51 @@ class SimulationEngine:
                 remaining -= span
         return index
 
+    def _run_columnar(self, keys: Iterable[Key]) -> int:
+        """Batched execution over interned key-id arrays.
+
+        Mirrors :meth:`_run_batched` — same chunk size, same rescale-event
+        splitting — but each chunk is a :class:`ColumnarBatch` whose ids were
+        interned once at the source.  Workloads exposing
+        ``iter_batches_columnar`` emit batches natively; any other iterable
+        is wrapped through the generic chunker.
+        """
+        config = self._config
+        num_sources = config.num_sources
+        chunk_size = config.batch_size * num_sources
+        events = self._pending_events
+
+        if hasattr(keys, "iter_batches_columnar"):
+            batches = keys.iter_batches_columnar(chunk_size)
+        else:
+            from repro.workloads.columnar import iter_batches_columnar
+
+            batches = iter_batches_columnar(keys, chunk_size)
+
+        index = 0
+        for batch in batches:
+            if not len(batch):
+                continue
+            self._columnar_dict = batch.dictionary
+            position = 0
+            remaining = len(batch)
+            while remaining:
+                while events and events[0].offset <= index:
+                    self._apply_rescale(events.pop(0))
+                if events:
+                    span = min(remaining, events[0].offset - index)
+                else:
+                    span = remaining
+                if position == 0 and span == len(batch):
+                    part = batch
+                else:
+                    part = batch.slice(position, position + span)
+                self._route_span_columnar(part, index)
+                index += span
+                position += span
+                remaining -= span
+        return index
+
     def _route_span(self, part: Sequence[Key], index: int) -> None:
         """Route one event-free span of the stream through all sources."""
         num_sources = self._config.num_sources
@@ -250,9 +305,69 @@ class SimulationEngine:
             series.maybe_record(tracker)
             index += 1
 
+    def _route_span_columnar(self, batch, index: int) -> None:
+        """Route one event-free columnar span through all sources.
+
+        Identical structure to :meth:`_route_span`; the per-source shares
+        are strided views over the id array and the worker-side key state
+        accumulates ids instead of keys (a bijection, so every set-valued
+        metric — memory entries, distinct head keys — is unchanged).  The
+        misroute accountant also ticks in id space, consistent with the
+        id-space moved-key sets of :meth:`_apply_rescale`.
+        """
+        num_sources = self._config.num_sources
+        sources = self._sources
+        tracker = self._tracker
+        series = self._series
+        worker_keys = self._worker_keys
+        head_keys = self._head_keys
+        accountant = self._accountant
+
+        shift = index % num_sources
+        workers = []
+        flags = []
+        for source_index, source in enumerate(sources):
+            sub = batch.strided((source_index - shift) % num_sources, num_sources)
+            source_flags: list[bool] = []
+            workers.append(source.route_batch_columnar(sub, head_flags=source_flags))
+            flags.append(source_flags)
+        positions = [0] * num_sources
+        for kid in batch.ids.tolist():
+            source_index = index % num_sources
+            position = positions[source_index]
+            positions[source_index] = position + 1
+            worker = workers[source_index][position]
+            is_head = flags[source_index][position]
+            if accountant is not None and accountant.window_open:
+                accountant.tick(kid)
+            tracker.record(worker, is_head=is_head)
+            worker_keys[worker].add(kid)
+            if is_head:
+                head_keys.add(kid)
+            series.maybe_record(tracker)
+            index += 1
+
     # ------------------------------------------------------------------ #
     # elasticity
     # ------------------------------------------------------------------ #
+    def _candidate_snapshot(
+        self, probe: Partitioner, observed: set[Key]
+    ) -> dict[Key, frozenset[int]]:
+        """Candidate sets of every observed key, keyed as the engine saw them.
+
+        In columnar mode ``observed`` holds interned ids: the probe hashes
+        the decoded key (candidates are a function of the key's bytes) but
+        the map stays keyed by id, so moved-key sets, the migration loop and
+        the accountant all remain in id space.
+        """
+        dictionary = self._columnar_dict
+        if dictionary is None:
+            return {key: frozenset(probe.key_candidates(key)) for key in observed}
+        return {
+            kid: frozenset(probe.key_candidates(dictionary.key_of(kid)))
+            for kid in observed
+        }
+
     def _apply_rescale(self, event: RescaleEvent) -> None:
         """Apply one worker join/leave/fail to every layer of the run.
 
@@ -279,7 +394,7 @@ class SimulationEngine:
         probe = sources[0]
         worker_keys = self._worker_keys
         observed: set[Key] = set().union(*worker_keys) if worker_keys else set()
-        before = {key: frozenset(probe.key_candidates(key)) for key in observed}
+        before = self._candidate_snapshot(probe, observed)
 
         policy = accountant.policy
         for source in sources:
@@ -296,7 +411,7 @@ class SimulationEngine:
                 removed_entries += len(worker_keys[-1])
                 worker_keys.pop()
 
-        after = {key: frozenset(probe.key_candidates(key)) for key in observed}
+        after = self._candidate_snapshot(probe, observed)
         moved = frozenset(
             key for key in observed if before[key] and before[key] != after[key]
         )

@@ -21,6 +21,7 @@ def run_simulation(
     track_interval: int = 0,
     track_head_tail: bool = False,
     batch_size: int = 1024,
+    columnar: bool = False,
     rescale_plan: Any = None,
     rescale_policy: str = "rehash",
     migration_window: int = 1000,
@@ -37,7 +38,9 @@ def run_simulation(
 
     ``batch_size`` controls the routing fast path (see
     :class:`~repro.simulation.config.SimulationConfig`); results are
-    independent of its value — 1 forces scalar routing.
+    independent of its value — 1 forces scalar routing.  ``columnar=True``
+    additionally routes interned key-id arrays end to end (string keys are
+    hashed once, at the source); results are byte-identical either way.
 
     ``rescale_plan`` (a :class:`~repro.elasticity.events.RescalePlan` or a
     spec string like ``"join@5000,fail@15000"``) makes workers join, leave
@@ -54,6 +57,7 @@ def run_simulation(
         track_interval=track_interval,
         track_head_tail=track_head_tail,
         batch_size=batch_size,
+        columnar=columnar,
         rescale_plan=rescale_plan,
         rescale_policy=rescale_policy,
         migration_window=migration_window,

@@ -13,11 +13,19 @@ traces are not redistributable, so this subpackage provides:
 * :class:`~repro.workloads.file_stream.FileWorkload` — replay a stream from
   a text file (one key per line), for users who do have the original traces;
 * :mod:`~repro.workloads.catalog` — the Table I registry mapping dataset
-  symbols (WP, TW, CT, ZF) to generators and their statistics.
+  symbols (WP, TW, CT, ZF) to generators and their statistics;
+* :mod:`~repro.workloads.columnar` — :class:`KeyDictionary` /
+  :class:`ColumnarBatch`, the interned-id stream representation behind
+  ``iter_batches_columnar`` (see ``docs/columnar.md``).
 """
 
 from repro.workloads.base import Workload, materialize
 from repro.workloads.catalog import DATASETS, dataset_stats, load_dataset
+from repro.workloads.columnar import (
+    ColumnarBatch,
+    KeyDictionary,
+    iter_batches_columnar,
+)
 from repro.workloads.drift import DriftingZipfWorkload
 from repro.workloads.file_stream import FileWorkload
 from repro.workloads.synthetic import (
@@ -30,13 +38,16 @@ from repro.workloads.zipf_stream import ZipfWorkload
 __all__ = [
     "DATASETS",
     "CashtagLikeWorkload",
+    "ColumnarBatch",
     "DriftingZipfWorkload",
     "FileWorkload",
+    "KeyDictionary",
     "TwitterLikeWorkload",
     "WikipediaLikeWorkload",
     "Workload",
     "ZipfWorkload",
     "dataset_stats",
+    "iter_batches_columnar",
     "load_dataset",
     "materialize",
 ]

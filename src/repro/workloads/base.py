@@ -58,6 +58,25 @@ class Workload(abc.ABC):
         if batch:
             yield batch
 
+    def iter_batches_columnar(
+        self, batch_size: int = 8192, dictionary: "KeyDictionary | None" = None
+    ) -> "Iterator[ColumnarBatch]":
+        """Yield the stream as :class:`~repro.workloads.columnar.ColumnarBatch`.
+
+        Every distinct key is interned exactly once into ``dictionary`` (a
+        fresh one per call when omitted); decoding the concatenated batches
+        reproduces :meth:`keys` exactly, and id numbering is independent of
+        ``batch_size``.  The default wraps :meth:`iter_batches`; array-backed
+        workloads override it to intern whole draw chunks vectorized.
+        """
+        from repro.workloads.columnar import ColumnarBatch, KeyDictionary
+
+        dictionary = dictionary if dictionary is not None else KeyDictionary()
+        index = 0
+        for chunk in self.iter_batches(batch_size):
+            yield ColumnarBatch(dictionary.intern_keys(chunk), dictionary, index)
+            index += len(chunk)
+
     def __iter__(self) -> Iterator[Key]:
         return self.keys()
 

@@ -96,7 +96,15 @@ class DriftingZipfWorkload(Workload):
         lengths[-1] += self._num_messages - base * self._num_epochs
         return lengths
 
-    def keys(self) -> Iterator[Key]:
+    def _draw_spans(self) -> Iterator[np.ndarray]:
+        """Yield the stream as mapped key arrays, one per RNG draw.
+
+        Single source of truth for the RNG consumption order (rotate the
+        mapping at each epoch boundary, then draw ``_CHUNK``-sized rank
+        chunks): :meth:`keys`, :meth:`iter_batches` and
+        :meth:`iter_batches_columnar` all consume these spans, so the three
+        representations carry the same stream for any chunking.
+        """
         rng = np.random.default_rng(self._seed)
         num_keys = self._distribution.num_keys
         probabilities = self._distribution.probabilities
@@ -110,9 +118,33 @@ class DriftingZipfWorkload(Workload):
             while remaining > 0:
                 size = min(_CHUNK, remaining)
                 ranks = rng.choice(support, size=size, p=probabilities)
-                for rank in ranks:
-                    yield int(mapping[rank])
+                yield mapping[ranks]
                 remaining -= size
+
+    def keys(self) -> Iterator[Key]:
+        for span in self._draw_spans():
+            yield from span.tolist()
+
+    def iter_batches(self, batch_size: int = 8192) -> Iterator[list[Key]]:
+        for span in self._draw_spans():
+            values = span.tolist()
+            for start in range(0, len(values), batch_size):
+                yield values[start : start + batch_size]
+
+    def iter_batches_columnar(self, batch_size=8192, dictionary=None):
+        """Native columnar stream; ids are issued per draw span, so the id
+        numbering is independent of ``batch_size``."""
+        from repro.workloads.columnar import ColumnarBatch, KeyDictionary
+
+        dictionary = dictionary if dictionary is not None else KeyDictionary()
+        index = 0
+        for span in self._draw_spans():
+            ids = dictionary.intern_int_array(span)
+            for start in range(0, span.size, batch_size):
+                yield ColumnarBatch(
+                    ids[start : start + batch_size], dictionary, index + start
+                )
+            index += span.size
 
     def _rotate_mapping(
         self, mapping: np.ndarray, rng: np.random.Generator

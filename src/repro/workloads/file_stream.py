@@ -85,6 +85,18 @@ class FileWorkload(Workload):
                 produced += 1
                 yield key
 
+    def iter_batches_columnar(self, batch_size=8192, dictionary=None):
+        """Columnar replay.
+
+        File key spaces are unbounded, so callers replaying huge traces may
+        pass a bounded :class:`~repro.workloads.columnar.KeyDictionary`
+        (``max_keys=...``) to cap the forward map; the stream itself is
+        unaffected (evicted keys simply re-intern under fresh ids).
+        """
+        from repro.workloads.columnar import iter_batches_columnar
+
+        return iter_batches_columnar(self.keys(), batch_size, dictionary)
+
     def stats(self) -> DatasetStats:
         """Exact statistics; computed once by scanning the file, then cached."""
         if self._cached_stats is None:

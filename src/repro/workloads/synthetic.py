@@ -124,6 +124,27 @@ class _HeadBodyWorkload(Workload):
                 yield self._key_name(int(index))
             remaining -= size
 
+    def iter_batches_columnar(self, batch_size=8192, dictionary=None):
+        """Native columnar stream: only each chunk's *distinct* draw values
+        go through :meth:`_key_name`; the per-message scatter is numpy."""
+        from repro.workloads.columnar import ColumnarBatch, KeyDictionary
+
+        dictionary = dictionary if dictionary is not None else KeyDictionary()
+        rng = np.random.default_rng(self._seed)
+        support = np.arange(self._probabilities.size)
+        remaining = self._num_messages
+        index = 0
+        while remaining > 0:
+            size = min(_CHUNK, remaining)
+            draws = rng.choice(support, size=size, p=self._probabilities)
+            ids = dictionary.intern_mapped_array(draws, self._key_name)
+            for start in range(0, size, batch_size):
+                yield ColumnarBatch(
+                    ids[start : start + batch_size], dictionary, index + start
+                )
+            index += size
+            remaining -= size
+
     def stats(self) -> DatasetStats:
         return DatasetStats(
             name=self._name,
@@ -249,6 +270,12 @@ class CashtagLikeWorkload(Workload):
 
     def keys(self) -> Iterator[Key]:
         return self._inner.keys()
+
+    def iter_batches(self, batch_size: int = 8192):
+        return self._inner.iter_batches(batch_size)
+
+    def iter_batches_columnar(self, batch_size=8192, dictionary=None):
+        return self._inner.iter_batches_columnar(batch_size, dictionary)
 
     def stats(self) -> DatasetStats:
         inner = self._inner.stats()

@@ -101,6 +101,31 @@ class ZipfWorkload(Workload):
                 yield ranks[start : start + batch_size]
             remaining -= size
 
+    def iter_batches_columnar(self, batch_size=8192, dictionary=None):
+        """Native columnar stream: draw chunks are interned as int arrays.
+
+        Same draws and id numbering for any ``batch_size`` (interning
+        happens per ``_CHUNK``-sized draw, before slicing).
+        """
+        from repro.workloads.columnar import ColumnarBatch, KeyDictionary
+
+        dictionary = dictionary if dictionary is not None else KeyDictionary()
+        rng = np.random.default_rng(self._seed)
+        remaining = self._num_messages
+        probabilities = self._distribution.probabilities
+        support = np.arange(1, self._distribution.num_keys + 1)
+        index = 0
+        while remaining > 0:
+            size = min(_CHUNK, remaining)
+            ranks = rng.choice(support, size=size, p=probabilities)
+            ids = dictionary.intern_int_array(ranks)
+            for start in range(0, size, batch_size):
+                yield ColumnarBatch(
+                    ids[start : start + batch_size], dictionary, index + start
+                )
+            index += size
+            remaining -= size
+
     def stats(self) -> DatasetStats:
         return DatasetStats(
             name=f"Zipf(z={self.exponent:g}, |K|={self.num_keys})",

@@ -68,6 +68,35 @@ class TestCompare:
         current = {"PKG": {"batch_msgs_per_sec": 900_000}}
         assert guard.compare(BASELINE, current, threshold=0.05, schemes=["PKG"])
 
+    def test_metric_absent_from_whole_baseline_fails_hard(self, guard):
+        # A typo'd or not-yet-recorded metric must not pass vacuously; the
+        # failure names what the baseline does carry.
+        current = {"PKG": {"columnar_speedup": 10.0}}
+        failures = guard.compare(BASELINE, current, metric="columnar_speedup")
+        assert len(failures) == 1
+        assert "columnar_speedup" in failures[0]
+        assert "batch_msgs_per_sec" in failures[0]  # available metrics listed
+        assert "scalar_msgs_per_sec" in failures[0]
+
+    def test_metric_present_somewhere_keeps_per_scheme_skips(self, guard):
+        # KG lacks scalar_msgs_per_sec but PKG has it: whole-baseline mode
+        # still guards PKG and just notes KG.
+        current = {
+            "PKG": {"scalar_msgs_per_sec": 99_000},
+            "KG": {"batch_msgs_per_sec": 1_900_000},
+        }
+        assert guard.compare(BASELINE, current, metric="scalar_msgs_per_sec") == []
+
+    def test_absent_metric_exits_nonzero_via_main(self, guard, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(BASELINE))
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps({"PKG": {"batch_msgs_per_sec": 1}}))
+        assert guard.main([
+            "--baseline", str(baseline_path), "--current", str(current),
+            "--metric", "no_such_metric",
+        ]) == 1
+
 
 class TestMain:
     def test_exit_codes(self, guard, tmp_path, capsys):

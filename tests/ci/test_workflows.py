@@ -81,6 +81,12 @@ class TestCiWorkflow:
         assert "run fig17 --scale tiny --batch-size 1" in commands
         assert "run fig17 --scale tiny --batch-size 1024" in commands
 
+    def test_pr_job_smokes_the_columnar_bench(self, ci):
+        # A PR that knocks the columnar path off its id-array fast path
+        # fails here, not a day later in the nightly guard.
+        commands = _job_commands(ci["jobs"]["suite-smoke"])
+        assert "--metric columnar_speedup --schemes PKG D-C" in commands
+
 
 class TestBenchWorkflow:
     def test_nightly_and_on_demand(self, bench):
@@ -116,6 +122,15 @@ class TestBenchWorkflow:
         # speedup alongside raw routing (DATAFLOW-* entries in the JSON).
         commands = _job_commands(bench["jobs"]["routing-bench"])
         assert "DATAFLOW-W-C" in commands
+
+    def test_guards_columnar_speedup_separately(self, bench):
+        # The columnar guard must be its own invocation with explicit
+        # schemes: DATAFLOW-* entries carry no columnar metrics, and mixing
+        # the metrics in one call would either fail spuriously or skip.
+        commands = _job_commands(bench["jobs"]["routing-bench"])
+        assert "--metric columnar_speedup" in commands
+        columnar_call = commands[commands.index("--metric columnar_speedup"):]
+        assert "--schemes PKG D-C" in columnar_call
 
 
 class TestReferencedPathsExist:
