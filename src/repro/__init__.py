@@ -41,6 +41,7 @@ from repro.exceptions import (
     ConfigurationError,
     PartitioningError,
     ReproError,
+    ScenarioError,
     SimulationError,
     SketchError,
     WorkloadError,
@@ -79,6 +80,7 @@ from repro.sketches import (
     SpaceSaving,
 )
 from repro.types import DatasetStats, LoadSnapshot, Message, RoutingDecision
+from repro.scenarios import ScenarioSpec, ScenarioWorkload, build_workload, list_scenarios
 from repro.workloads import (
     CashtagLikeWorkload,
     DriftingZipfWorkload,
@@ -87,6 +89,7 @@ from repro.workloads import (
     WikipediaLikeWorkload,
     Workload,
     ZipfWorkload,
+    derive_seed,
     load_dataset,
 )
 
@@ -97,6 +100,7 @@ __all__ = [
     "ConfigurationError",
     "PartitioningError",
     "ReproError",
+    "ScenarioError",
     "SimulationError",
     "SketchError",
     "WorkloadError",
@@ -152,7 +156,13 @@ __all__ = [
     "WikipediaLikeWorkload",
     "Workload",
     "ZipfWorkload",
+    "derive_seed",
     "load_dataset",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioWorkload",
+    "build_workload",
+    "list_scenarios",
     # elasticity
     "MigrationReport",
     "RescalePlan",

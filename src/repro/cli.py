@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-slb``.
 
-Four sub-commands:
+Five sub-commands:
 
 * ``list`` — show the available experiments (one per paper figure/table);
 * ``run <experiment-id>`` — run one experiment and print its rows
@@ -10,6 +10,11 @@ Four sub-commands:
   workload (handy for quick what-if questions); ``--rescale
   "join@5000,leave@12000,fail@15000"`` replays an elastic worker schedule
   mid-stream and reports the migration costs;
+* ``scenario`` — inspect and run the scenario catalog: ``scenario list``
+  names the cataloged traffic patterns, ``scenario show <name>`` prints
+  one spec (pattern, seeds, render, expected bounds), and ``scenario run
+  <name>`` simulates it under one scheme and checks the realised metrics
+  against the spec's ``expected:`` block (exit 1 on violation);
 * ``suite`` — orchestrate the whole reproduction: ``suite run`` executes
   every registered experiment across a process pool with content-addressed
   caching under ``results/``, ``suite report`` summarises the store, and
@@ -151,6 +156,54 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help="inspect and run the scenario catalog (seeded traffic patterns)",
+    )
+    scenario_commands = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_commands.add_parser(
+        "list", help="list the cataloged scenarios with their patterns"
+    )
+    scenario_show = scenario_commands.add_parser(
+        "show", help="print one scenario spec (pattern, seeds, expected bounds)"
+    )
+    scenario_show.add_argument("name", help="scenario name (see `scenario list`)")
+    scenario_run = scenario_commands.add_parser(
+        "run",
+        help=(
+            "simulate one scenario under one scheme and check the result "
+            "against the spec's expected bounds (exit 1 on violation)"
+        ),
+    )
+    scenario_run.add_argument("name", help="scenario name (see `scenario list`)")
+    scenario_run.add_argument(
+        "--scheme",
+        default="PKG",
+        help="grouping scheme to route the scenario with (default: PKG)",
+    )
+    scenario_run.add_argument(
+        "--workers", type=int, default=16,
+        help="number of downstream workers n (default: 16)",
+    )
+    scenario_run.add_argument(
+        "--sources", type=int, default=5,
+        help="number of independent sources s (default: 5)",
+    )
+    scenario_run.add_argument(
+        "--messages", type=int, default=100_000,
+        help="stream length m in messages (default: 100000)",
+    )
+    scenario_run.add_argument(
+        "--keys", type=int, default=5_000,
+        help="key-space size |K| of the scenario (default: 5000)",
+    )
+    scenario_run.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="messages routed per route_batch call (default: 1024)",
+    )
+
     suite_parser = subparsers.add_parser(
         "suite",
         help="orchestrate the full reproduction with caching under results/",
@@ -262,6 +315,76 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _scenario_main(args: argparse.Namespace) -> int:
+    from repro.exceptions import ScenarioError
+    from repro.scenarios.catalog import build_workload, check_result, get_scenario, list_scenarios
+
+    if args.scenario_command == "list":
+        for name in list_scenarios():
+            spec = get_scenario(name)
+            render = spec.render.style
+            print(f"{name:20s}  pattern={spec.pattern:18s}  render={render:14s}  {spec.description}")
+        return 0
+
+    if args.scenario_command == "show":
+        try:
+            spec = get_scenario(args.name)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"name: {spec.name}")
+        print(f"pattern: {spec.pattern}")
+        print(f"seed: {spec.seed}")
+        print(f"  truth seed:  {spec.component_seed('truth')}")
+        print(f"  render seed: {spec.component_seed('render')}")
+        if spec.truth_options:
+            print(f"truth options: {dict(spec.truth_options)}")
+        print(f"render: {spec.render.style}"
+              + (f" {dict(spec.render.options)}" if spec.render.options else ""))
+        assert spec.expected is not None  # catalog entries always carry bounds
+        print("expected:")
+        for bound in spec.expected._BOUND_NAMES:
+            value = getattr(spec.expected, bound)
+            if value is not None:
+                print(f"  {bound}: {value}")
+        for scheme, overrides in spec.expected.per_scheme.items():
+            print(f"  per_scheme {scheme}: {dict(overrides)}")
+        if spec.description:
+            print(f"description: {spec.description}")
+        return 0
+
+    if args.scenario_command == "run":
+        try:
+            spec = get_scenario(args.name)
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        workload = build_workload(spec, num_messages=args.messages, num_keys=args.keys)
+        result = run_simulation(
+            workload,
+            scheme=args.scheme,
+            num_workers=args.workers,
+            num_sources=args.sources,
+            batch_size=args.batch_size,
+        )
+        print(f"scenario: {spec.name} ({spec.pattern}), scheme {args.scheme}, "
+              f"{args.workers} workers, {args.messages} messages")
+        print(f"imbalance: {result.final_imbalance:.6f}")
+        print(f"replication: {result.replication_factor:.4f}")
+        print(f"p99_load_factor: {result.p99_load_factor:.4f}")
+        violations = check_result(spec, result, scheme=args.scheme)
+        if violations:
+            for violation in violations:
+                print(f"VIOLATED {violation}")
+            return 1
+        print("within expected bounds")
+        return 0
+
+    raise AssertionError(
+        f"unknown scenario command {args.scenario_command!r}"
+    )  # pragma: no cover
+
+
 def _suite_main(args: argparse.Namespace) -> int:
     from repro.suite.orchestrator import run_suite
     from repro.suite.report import export_report, render_report
@@ -368,6 +491,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"{record.tuples_misrouted} tuples misrouted"
                 )
         return 0
+
+    if args.command == "scenario":
+        return _scenario_main(args)
 
     if args.command == "suite":
         return _suite_main(args)

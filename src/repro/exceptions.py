@@ -40,6 +40,16 @@ class WorkloadError(ReproError):
     """A workload/dataset could not be generated or loaded."""
 
 
+class ScenarioError(WorkloadError):
+    """A scenario spec is invalid or its expected bounds were violated.
+
+    Raised when a cataloged scenario is missing its required ``pattern``,
+    ``seed`` or ``expected:`` block, references an unknown pattern name, or
+    when a post-run assertion check fails.  Subclasses
+    :class:`WorkloadError` because a scenario is a (declarative) workload.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation or cluster engine reached an inconsistent state."""
 

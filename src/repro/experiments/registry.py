@@ -29,6 +29,7 @@ from repro.experiments import (
     fig15_rescale_imbalance,
     fig16_migration_cost,
     fig17_topology_throughput,
+    scenarios_experiment,
     table1_datasets,
 )
 from repro.experiments.common import ExperimentResult
@@ -94,6 +95,7 @@ _MODULES = (
     fig15_rescale_imbalance,
     fig16_migration_cost,
     fig17_topology_throughput,
+    scenarios_experiment,
     table1_datasets,
 )
 

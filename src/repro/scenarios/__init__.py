@@ -1,0 +1,51 @@
+"""Scenario catalog: seeded traffic patterns with expected-assertion bounds.
+
+The package splits a workload scenario into three declarative layers:
+
+- **truth** (:mod:`repro.scenarios.truth`) — the key-popularity process:
+  which keys exist and how popular each is over time;
+- **render** (:mod:`repro.scenarios.render`) — how that traffic arrives:
+  order, burstiness, duplication;
+- **spec** (:mod:`repro.scenarios.spec`) — the named declaration binding a
+  pattern, a required seed, render options and an ``expected:`` block of
+  post-run assertions.
+
+:mod:`repro.scenarios.catalog` holds the named catalog; every entry is
+validated at import time and must declare expected bounds.  A
+:class:`~repro.scenarios.workload.ScenarioWorkload` renders a spec at a
+concrete scale through the standard workload contracts, so scenarios run
+unchanged through ``route_stream``, the simulation engine and the dataflow
+runtime — scalar, batched or columnar.
+"""
+
+from repro.scenarios.catalog import (
+    CATALOG,
+    assert_result,
+    build_workload,
+    check_result,
+    get_scenario,
+    list_scenarios,
+)
+from repro.scenarios.render import RENDERERS, Renderer, make_renderer
+from repro.scenarios.spec import ExpectedBounds, RenderSpec, ScenarioSpec
+from repro.scenarios.truth import PATTERNS, Truth, make_truth
+from repro.scenarios.workload import ScenarioWorkload
+
+__all__ = [
+    "CATALOG",
+    "PATTERNS",
+    "RENDERERS",
+    "ExpectedBounds",
+    "RenderSpec",
+    "Renderer",
+    "ScenarioSpec",
+    "ScenarioWorkload",
+    "Truth",
+    "assert_result",
+    "build_workload",
+    "check_result",
+    "get_scenario",
+    "list_scenarios",
+    "make_renderer",
+    "make_truth",
+]

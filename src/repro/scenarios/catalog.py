@@ -1,0 +1,240 @@
+"""The scenario catalog: named, seeded traffic patterns with expectations.
+
+Every entry below is a :class:`~repro.scenarios.spec.ScenarioSpec` written
+as the YAML-shaped mapping the spec parser accepts, so the catalog doubles
+as living documentation of the spec format.  All cataloged scenarios carry
+a non-empty ``expected:`` block — the catalog is validated at import time
+and a scenario without bounds is a hard :class:`ScenarioError`, never a
+silent skip.
+
+The bounds were measured empirically: each scenario was run at the tiny
+and quick scales for the catalog schemes (PKG, D-C, W-C) and the bounds
+set with ~2x headroom over the worst observed value, so they catch real
+regressions (a scheme suddenly replicating keys without bound, a balance
+collapse under churn) without flaking on RNG-level wiggle.  The pytest
+suite under ``tests/scenarios/`` re-checks every bound at the tiny scale
+on every CI run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workload import ScenarioWorkload
+from repro.simulation.results import SimulationResult
+
+#: YAML-shaped catalog entries (see ScenarioSpec.from_dict for the schema).
+#: ``pattern`` and ``seed`` are required; ``expected`` is required *here*
+#: because these are cataloged scenarios.
+_CATALOG_ENTRIES: tuple[Mapping[str, Any], ...] = (
+    {
+        "name": "flash_crowd",
+        "pattern": "flash_crowd",
+        "seed": 1601,
+        "description": (
+            "Mild Zipf baseline until a cold key spikes to 25% of all "
+            "traffic and decays back — a breaking-news flash crowd."
+        ),
+        "truth": {"exponent": 0.9, "start": 0.3, "peak_share": 0.25},
+        "expected": {
+            # Worst measured (tiny+quick, PKG/D-C/W-C): imb 0.0003,
+            # rep 1.77, p99 1.002.
+            "max_imbalance": 0.01,
+            "max_replication": 2.05,
+            "max_p99_load_factor": 1.15,
+        },
+    },
+    {
+        "name": "hot_key_churn",
+        "pattern": "hot_key_churn",
+        "seed": 1602,
+        "description": (
+            "Zipf skew whose hot-key identities rotate every epoch — "
+            "yesterday's hottest key is cold today."
+        ),
+        "truth": {"exponent": 1.3, "num_epochs": 8, "churn_ranks": 20},
+        "expected": {
+            # Worst measured: imb 0.0096, rep 1.69, p99 1.14.
+            "max_imbalance": 0.03,
+            "max_replication": 2.05,
+            "max_p99_load_factor": 1.4,
+        },
+    },
+    {
+        "name": "diurnal_cycle",
+        "pattern": "diurnal_cycle",
+        "seed": 1603,
+        "description": (
+            "Skew oscillating between calm nights (Zipf 0.6) and peaked "
+            "days (Zipf 1.5) over two full cycles."
+        ),
+        "truth": {"low_exponent": 0.6, "high_exponent": 1.5, "num_cycles": 2},
+        "expected": {
+            # D-C/W-C stay near-perfect; PKG drifts at the daily peaks
+            # (worst measured imb 0.034, p99 1.54 at the quick scale).
+            "max_imbalance": 0.015,
+            "max_replication": 2.05,
+            "max_p99_load_factor": 1.2,
+            "per_scheme": {
+                "PKG": {"max_imbalance": 0.07, "max_p99_load_factor": 2.1},
+            },
+        },
+    },
+    {
+        "name": "key_space_growth",
+        "pattern": "key_space_growth",
+        "seed": 1604,
+        "description": (
+            "The active key space grows geometrically from 5% to 100% of "
+            "the keys over the stream — an onboarding curve."
+        ),
+        "truth": {"exponent": 1.1, "initial_fraction": 0.05},
+        "expected": {
+            # Early epochs have few active keys, which PKG's two choices
+            # cannot fully smooth (worst measured imb 0.035, p99 1.55).
+            "max_imbalance": 0.015,
+            "max_replication": 2.05,
+            "max_p99_load_factor": 1.2,
+            "per_scheme": {
+                "PKG": {"max_imbalance": 0.07, "max_p99_load_factor": 2.1},
+            },
+        },
+    },
+    {
+        "name": "single_key_flood",
+        "pattern": "single_key_flood",
+        "seed": 1605,
+        "description": (
+            "Adversarial flood: one key carries 40% of the traffic for the "
+            "whole stream — beyond PKG's two-choice guarantee."
+        ),
+        "truth": {"flood_share": 0.4, "tail_exponent": 0.7},
+        "expected": {
+            # D-C/W-C split the flood across d >= 5 candidates and stay
+            # balanced; PKG can only split it two ways, so roughly 20% of
+            # the stream pins each of two workers (worst measured imb
+            # 0.143, p99 3.28 at 16 workers).
+            "max_imbalance": 0.02,
+            "max_replication": 2.05,
+            "max_p99_load_factor": 1.2,
+            "per_scheme": {
+                "PKG": {"max_imbalance": 0.3, "max_p99_load_factor": 4.5},
+            },
+        },
+    },
+    {
+        "name": "drift_mixture",
+        "pattern": "drift_mixture",
+        "seed": 1606,
+        "description": (
+            "Traffic migrates gradually from one shuffled Zipf population "
+            "to a disjoint one — slow-motion concept drift."
+        ),
+        "truth": {"exponent": 1.2, "num_epochs": 10},
+        "expected": {
+            # Worst measured: PKG imb 0.028 / p99 1.45; D-C/W-C <= 0.008.
+            "max_imbalance": 0.02,
+            "max_replication": 2.05,
+            "max_p99_load_factor": 1.2,
+            "per_scheme": {
+                "PKG": {"max_imbalance": 0.06, "max_p99_load_factor": 2.0},
+            },
+        },
+    },
+    {
+        "name": "bursty_flash_crowd",
+        "pattern": "flash_crowd",
+        "seed": 1607,
+        "description": (
+            "The flash-crowd truth rendered bursty (each event repeated 4x "
+            "back-to-back) — same popularity, clumped arrivals."
+        ),
+        "truth": {"exponent": 0.9, "start": 0.3, "peak_share": 0.25},
+        "render": {"style": "bursty", "burst_length": 4},
+        "expected": {
+            # Worst measured: imb 0.0002, rep 1.75, p99 1.002 — bursts do
+            # not break balance when per-key totals keep the truth's mass.
+            "max_imbalance": 0.01,
+            "max_replication": 2.05,
+            "max_p99_load_factor": 1.15,
+        },
+    },
+)
+
+
+def _build_catalog() -> dict[str, ScenarioSpec]:
+    catalog: dict[str, ScenarioSpec] = {}
+    for entry in _CATALOG_ENTRIES:
+        spec = ScenarioSpec.from_dict(entry)
+        if spec.name in catalog:
+            raise ScenarioError(f"duplicate scenario name {spec.name!r} in catalog")
+        # Cataloged scenarios MUST carry expected bounds — fail loudly now,
+        # at import, not when CI quietly runs zero assertions.
+        catalog[spec.name] = spec.validate(require_expected=True)
+    return catalog
+
+
+#: Scenario name -> validated spec.  Import-time validation guarantees every
+#: entry resolves (pattern, render) and declares at least one expected bound.
+CATALOG: dict[str, ScenarioSpec] = _build_catalog()
+
+
+def list_scenarios() -> list[str]:
+    """Names of all cataloged scenarios, in catalog order."""
+    return list(CATALOG)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a cataloged scenario; unknown names fail loudly."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; cataloged scenarios: "
+            f"{list_scenarios()}"
+        ) from None
+
+
+def build_workload(
+    scenario: str | ScenarioSpec, num_messages: int, num_keys: int
+) -> ScenarioWorkload:
+    """Render a scenario (by name or spec) at a concrete scale."""
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    return ScenarioWorkload(spec, num_messages=num_messages, num_keys=num_keys)
+
+
+def check_result(
+    spec: ScenarioSpec, result: SimulationResult, *, scheme: str | None = None
+) -> list[str]:
+    """Compare a simulation result against the spec's expected bounds.
+
+    Returns the (possibly empty) list of violations; raises
+    :class:`ScenarioError` when the spec has no bounds to check — a
+    scenario silently asserting nothing is exactly the failure mode the
+    catalog exists to prevent.
+    """
+    if spec.expected is None or spec.expected.is_empty():
+        raise ScenarioError(
+            f"scenario {spec.name!r} has no expected: block to check "
+            f"against — cataloged scenarios must declare bounds"
+        )
+    return spec.expected.check(
+        imbalance=result.final_imbalance,
+        replication=result.replication_factor,
+        p99_load_factor=result.p99_load_factor,
+        scheme=scheme if scheme is not None else result.scheme,
+    )
+
+
+def assert_result(
+    spec: ScenarioSpec, result: SimulationResult, *, scheme: str | None = None
+) -> None:
+    """Like :func:`check_result` but raising on any violation."""
+    violations = check_result(spec, result, scheme=scheme)
+    if violations:
+        raise ScenarioError(
+            f"scenario {spec.name!r} violated its expected bounds under "
+            f"scheme {scheme or result.scheme}: " + "; ".join(violations)
+        )

@@ -1,0 +1,271 @@
+"""Declarative scenario specs: required pattern/seed, optional expected bounds.
+
+A :class:`ScenarioSpec` is the YAML-shaped declaration of one traffic
+scenario (the in-code catalog lives in :mod:`repro.scenarios.catalog`)::
+
+    name: flash_crowd
+    pattern: flash_crowd          # REQUIRED — truth pattern name
+    seed: 42                      # REQUIRED — base seed of the scenario
+    truth:                        # optional pattern parameter overrides
+      peak_share: 0.25
+    render:                       # optional arrival rendering (default iid)
+      style: bursty
+      burst_length: 4
+    expected:                     # post-run assertions (REQUIRED for
+      max_imbalance: 0.05         # cataloged scenarios — fail-loudly)
+      max_replication: 2.5
+      max_p99_load_factor: 1.6
+
+``pattern`` and ``seed`` have **no defaults** — a spec without them fails
+loudly at construction (:class:`~repro.exceptions.ScenarioError` naming
+the scenario), mirroring the required ``pattern``/``seed`` contract of
+TRADE-style synthetic-data modules.  Per-component seeds are derived
+deterministically as ``derive_seed(name, component, seed)`` so truth and
+render randomness never correlate and every scenario is reproducible from
+its name and one integer.
+
+The ``expected:`` block turns each scenario into a regression assertion:
+after a simulation run, :meth:`ExpectedBounds.check` compares the realised
+imbalance, key replication and p99 load factor against the declared
+bounds.  The pytest suite under ``tests/scenarios/`` collects exactly
+these checks for every cataloged scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import ScenarioError
+from repro.workloads.base import derive_seed
+
+#: Sentinel distinguishing "field absent" from any legitimate value.
+_MISSING = object()
+
+
+@dataclass(frozen=True, slots=True)
+class RenderSpec:
+    """How a scenario's truth is rendered into an arrival sequence."""
+
+    style: str = "iid"
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any], *, scenario: str) -> "RenderSpec":
+        extra = dict(payload)
+        style = extra.pop("style", "iid")
+        if not isinstance(style, str) or not style:
+            raise ScenarioError(
+                f"scenario {scenario!r}: render style must be a non-empty "
+                f"string, got {style!r}"
+            )
+        return cls(style=style, options=extra)
+
+
+@dataclass(frozen=True, slots=True)
+class ExpectedBounds:
+    """Post-run assertions of one scenario (the ``expected:`` block).
+
+    Every bound is optional individually, but a cataloged scenario must
+    declare at least one (enforced by :meth:`ScenarioSpec.validate`).
+
+    Attributes
+    ----------
+    max_imbalance:
+        Upper bound on the final imbalance ``I(m) = max - avg`` of the
+        normalised worker loads.
+    max_replication:
+        Upper bound on the average key replication factor:
+        worker-side ``(worker, key)`` state entries divided by the number
+        of distinct keys routed (1.0 = key grouping, ≤ 2 = PKG, ...).
+    max_p99_load_factor:
+        Upper bound on the p99 of the per-worker loads divided by the mean
+        load (1.0 = perfectly balanced).
+    per_scheme:
+        Optional per-scheme overrides, e.g. ``{"W-C": {"max_replication":
+        6.0}}`` — schemes that legitimately replicate more (or balance
+        better) than the catalog-wide bound.
+    """
+
+    max_imbalance: float | None = None
+    max_replication: float | None = None
+    max_p99_load_factor: float | None = None
+    per_scheme: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    _BOUND_NAMES = ("max_imbalance", "max_replication", "max_p99_load_factor")
+
+    def is_empty(self) -> bool:
+        return all(getattr(self, name) is None for name in self._BOUND_NAMES)
+
+    def bound(self, name: str, scheme: str | None = None) -> float | None:
+        """The effective bound for ``scheme`` (override beats the default)."""
+        if scheme is not None:
+            override = self.per_scheme.get(scheme, {})
+            if name in override:
+                return float(override[name])
+        return getattr(self, name)
+
+    def check(
+        self,
+        *,
+        imbalance: float,
+        replication: float,
+        p99_load_factor: float,
+        scheme: str | None = None,
+    ) -> list[str]:
+        """Compare realised metrics against the bounds; return violations.
+
+        An empty list means every declared bound held.  Each violation is
+        a human-readable sentence naming the metric, the realised value
+        and the declared bound.
+        """
+        realised = {
+            "max_imbalance": imbalance,
+            "max_replication": replication,
+            "max_p99_load_factor": p99_load_factor,
+        }
+        violations = []
+        for name in self._BOUND_NAMES:
+            limit = self.bound(name, scheme)
+            if limit is not None and realised[name] > limit:
+                suffix = f" for scheme {scheme}" if scheme else ""
+                violations.append(
+                    f"{name}: {realised[name]:.6g} exceeds the declared "
+                    f"bound {limit:.6g}{suffix}"
+                )
+        return violations
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any], *, scenario: str) -> "ExpectedBounds":
+        extra = dict(payload)
+        kwargs: dict[str, Any] = {}
+        for name in cls._BOUND_NAMES:
+            if name in extra:
+                kwargs[name] = float(extra.pop(name))
+        per_scheme = extra.pop("per_scheme", {})
+        unknown = sorted(extra)
+        if unknown:
+            raise ScenarioError(
+                f"scenario {scenario!r}: unknown expected bounds {unknown}; "
+                f"valid bounds: {list(cls._BOUND_NAMES)}"
+            )
+        return cls(per_scheme=per_scheme, **kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """One named traffic scenario: truth pattern + render + expectations."""
+
+    name: str
+    #: REQUIRED: truth pattern name (a key of ``repro.scenarios.truth.PATTERNS``).
+    pattern: str
+    #: REQUIRED: base seed; component seeds derive from (name, component, seed).
+    seed: int | str
+    truth_options: Mapping[str, Any] = field(default_factory=dict)
+    render: RenderSpec = field(default_factory=RenderSpec)
+    expected: ExpectedBounds | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ScenarioError(f"scenario name must be a non-empty string, got {self.name!r}")
+        if not self.pattern or not isinstance(self.pattern, str):
+            raise ScenarioError(
+                f"scenario {self.name!r}: 'pattern' is required and must be "
+                f"a non-empty string, got {self.pattern!r}"
+            )
+        if not isinstance(self.seed, (int, str)) or isinstance(self.seed, bool):
+            raise ScenarioError(
+                f"scenario {self.name!r}: 'seed' is required and must be an "
+                f"int or string, got {self.seed!r}"
+            )
+
+    def component_seed(self, component: str) -> int:
+        """Deterministic per-component seed: ``derive_seed(name, component, seed)``."""
+        return derive_seed(self.name, component, self.seed)
+
+    def validate(self, *, require_expected: bool = True) -> "ScenarioSpec":
+        """Resolve the pattern/render and check the fail-loudly contract.
+
+        Raises :class:`ScenarioError` naming the scenario when the pattern
+        or render style is unknown, when their options are invalid, or —
+        with ``require_expected`` (the catalog default) — when the
+        ``expected:`` block is missing or empty.
+        """
+        from repro.scenarios.render import make_renderer
+        from repro.scenarios.truth import make_truth
+
+        make_truth(self.pattern, dict(self.truth_options), scenario=self.name)
+        make_renderer(self.render.style, dict(self.render.options), scenario=self.name)
+        if require_expected and (self.expected is None or self.expected.is_empty()):
+            raise ScenarioError(
+                f"scenario {self.name!r} has no expected: block; cataloged "
+                f"scenarios must declare at least one bound "
+                f"(max_imbalance, max_replication, max_p99_load_factor) — "
+                f"there are no default fallbacks"
+            )
+        return self
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any], *, name: str | None = None) -> "ScenarioSpec":
+        """Build a spec from a parsed YAML/JSON mapping, failing loudly.
+
+        ``pattern`` and ``seed`` are required; a missing field raises
+        :class:`ScenarioError` naming the scenario and, for unknown
+        patterns, the valid pattern names (checked in :meth:`validate`).
+        """
+        extra = dict(payload)
+        name = name or extra.pop("name", None)
+        if not name:
+            raise ScenarioError("scenario spec has no name")
+        pattern = extra.pop("pattern", _MISSING)
+        if pattern is _MISSING:
+            from repro.scenarios.truth import PATTERNS
+
+            raise ScenarioError(
+                f"scenario {name!r} has no 'pattern'; the field is required "
+                f"— valid patterns: {sorted(PATTERNS)}"
+            )
+        seed = extra.pop("seed", _MISSING)
+        if seed is _MISSING:
+            raise ScenarioError(
+                f"scenario {name!r} has no 'seed'; the field is required "
+                f"for reproducibility — there is no default"
+            )
+        truth_options = extra.pop("truth", {})
+        render = RenderSpec.from_dict(extra.pop("render", {}), scenario=name)
+        expected_payload = extra.pop("expected", None)
+        expected = (
+            ExpectedBounds.from_dict(expected_payload, scenario=name)
+            if expected_payload is not None
+            else None
+        )
+        description = extra.pop("description", "")
+        unknown = sorted(extra)
+        if unknown:
+            raise ScenarioError(
+                f"scenario {name!r}: unknown spec fields {unknown}; valid "
+                f"fields: ['pattern', 'seed', 'truth', 'render', "
+                f"'expected', 'description']"
+            )
+        return cls(
+            name=name,
+            pattern=pattern,
+            seed=seed,
+            truth_options=truth_options,
+            render=render,
+            expected=expected,
+            description=description,
+        )
+
+    @classmethod
+    def from_yaml(cls, text: str, *, name: str | None = None) -> "ScenarioSpec":
+        """Parse one YAML scenario document (same schema as :meth:`from_dict`)."""
+        import yaml
+
+        payload = yaml.safe_load(text)
+        if not isinstance(payload, Mapping):
+            raise ScenarioError(
+                f"scenario YAML must be a mapping, got {type(payload).__name__}"
+            )
+        return cls.from_dict(payload, name=name)

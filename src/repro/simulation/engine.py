@@ -451,6 +451,7 @@ class SimulationEngine:
         if self._config.track_head_tail:
             head_loads, tail_loads = tracker.head_tail_split()
         memory_entries = sum(len(keys) for keys in self._worker_keys)
+        distinct_keys = len(set().union(*self._worker_keys)) if self._worker_keys else 0
         return SimulationResult(
             scheme=self._scheme,
             num_workers=tracker.num_workers,
@@ -466,6 +467,7 @@ class SimulationEngine:
             time_series=self._series if self._series.times else None,
             memory_entries=memory_entries,
             head_key_count=len(self._head_keys),
+            distinct_key_count=distinct_keys,
             migration=(
                 self._accountant.report() if self._accountant is not None else None
             ),

@@ -36,6 +36,10 @@ class SimulationResult:
         i.e. the worker-side memory of Section IV-B measured empirically.
     head_key_count:
         Number of distinct keys ever routed through the head path.
+    distinct_key_count:
+        Number of distinct keys with state on the *surviving* workers —
+        the denominator of the average replication factor
+        (:attr:`replication_factor`).
     migration:
         Migration-cost report of the run's rescale plan (``None`` in the
         fixed-worker setting).  When a plan shrank the cluster,
@@ -54,6 +58,7 @@ class SimulationResult:
     time_series: ImbalanceTimeSeries | None = None
     memory_entries: int = 0
     head_key_count: int = 0
+    distinct_key_count: int = 0
     migration: MigrationReport | None = None
 
     @property
@@ -67,6 +72,37 @@ class SimulationResult:
     def max_load(self) -> float:
         loads = self.normalized_loads
         return max(loads) if loads else 0.0
+
+    @property
+    def replication_factor(self) -> float:
+        """Average workers-per-key: memory entries over distinct keys.
+
+        1.0 for key grouping, at most 2 for PKG, between 1 and the worker
+        count for the head/tail schemes (heads replicate, tails do not).
+        """
+        if self.distinct_key_count == 0:
+            return 0.0
+        return self.memory_entries / self.distinct_key_count
+
+    @property
+    def p99_load_factor(self) -> float:
+        """p99 of the per-worker loads divided by the mean load.
+
+        1.0 is a perfectly balanced cluster; the scenario regression
+        suite bounds this tail ratio per scenario.
+        """
+        if not self.worker_loads:
+            return 0.0
+        mean = sum(self.worker_loads) / len(self.worker_loads)
+        if mean == 0:
+            return 0.0
+        ordered = sorted(self.worker_loads)
+        # Linear-interpolated percentile (numpy's default), dependency-free.
+        rank = 0.99 * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        p99 = ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+        return p99 / mean
 
     def summary(self) -> dict[str, object]:
         """A flat dictionary convenient for tabular reporting."""

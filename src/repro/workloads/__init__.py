@@ -19,7 +19,7 @@ traces are not redistributable, so this subpackage provides:
   ``iter_batches_columnar`` (see ``docs/columnar.md``).
 """
 
-from repro.workloads.base import Workload, materialize
+from repro.workloads.base import Workload, derive_seed, materialize
 from repro.workloads.catalog import DATASETS, dataset_stats, load_dataset
 from repro.workloads.columnar import (
     ColumnarBatch,
@@ -47,6 +47,7 @@ __all__ = [
     "Workload",
     "ZipfWorkload",
     "dataset_stats",
+    "derive_seed",
     "iter_batches_columnar",
     "load_dataset",
     "materialize",

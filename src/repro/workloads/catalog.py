@@ -7,8 +7,9 @@ published in Table I and the statistics of our synthetic stand-ins.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, Mapping
 
 from repro.exceptions import WorkloadError
 from repro.types import DatasetStats
@@ -118,7 +119,10 @@ def load_dataset(symbol: str, **kwargs) -> Workload:
     """Instantiate the stand-in workload for ``symbol``.
 
     Keyword arguments are forwarded to the generator (e.g. ``num_messages``,
-    ``seed``; ``exponent``/``num_keys`` for ZF).
+    ``seed``; ``exponent``/``num_keys`` for ZF).  Unknown symbols *and*
+    keyword arguments the generator does not accept raise
+    :class:`~repro.exceptions.WorkloadError` — a typo like
+    ``num_mesages=...`` must not silently build a default-sized stream.
 
     Examples
     --------
@@ -131,28 +135,51 @@ def load_dataset(symbol: str, **kwargs) -> Workload:
         raise WorkloadError(
             f"unknown dataset symbol {symbol!r}; known: {sorted(DATASETS)}"
         )
+    try:
+        # bind_partial: reject unknown keyword arguments while leaving
+        # missing-required errors to the factory itself (unchanged behaviour).
+        inspect.signature(entry.factory).bind_partial(**kwargs)
+    except TypeError as exc:
+        raise WorkloadError(
+            f"invalid arguments for dataset {entry.symbol!r} "
+            f"({entry.factory.__name__}): {exc}"
+        ) from exc
     return entry.factory(**kwargs)
 
 
-def table1_rows(measured: bool = False, **kwargs) -> list[dict[str, object]]:
+def table1_rows(
+    measured: bool = False,
+    overrides: Mapping[str, Mapping[str, Any]] | None = None,
+    **kwargs,
+) -> list[dict[str, object]]:
     """Rows of Table I.
 
     With ``measured=False`` (default) the published statistics are returned.
-    With ``measured=True`` the synthetic stand-ins are generated (at their
-    default scale unless overridden via ``kwargs``) and measured exactly;
-    note this consumes the full streams.
+    With ``measured=True`` the synthetic stand-ins are generated and
+    measured exactly; note this consumes the full streams.  ``overrides``
+    maps dataset symbols to factory keyword arguments, so tests can shrink
+    individual streams, e.g. ``overrides={"WP": {"num_messages": 100_000}}``
+    (arguments are validated like :func:`load_dataset`).  Bare ``kwargs``
+    configure the ZF stand-in only (backwards-compatible behaviour).
     """
+    overrides = overrides or {}
+    unknown = sorted(set(overrides) - set(DATASETS))
+    if unknown:
+        raise WorkloadError(
+            f"unknown dataset symbols in overrides: {unknown}; "
+            f"known: {sorted(DATASETS)}"
+        )
     rows: list[dict[str, object]] = []
     for symbol, entry in DATASETS.items():
         if measured:
+            factory_kwargs = dict(overrides.get(symbol, {}))
             if symbol == "ZF":
-                workload = entry.factory(
-                    exponent=kwargs.get("exponent", 2.0),
-                    num_keys=kwargs.get("num_keys", 10_000),
-                    num_messages=kwargs.get("num_messages", 100_000),
+                factory_kwargs.setdefault("exponent", kwargs.get("exponent", 2.0))
+                factory_kwargs.setdefault("num_keys", kwargs.get("num_keys", 10_000))
+                factory_kwargs.setdefault(
+                    "num_messages", kwargs.get("num_messages", 100_000)
                 )
-            else:
-                workload = entry.factory()
+            workload = load_dataset(symbol, **factory_kwargs)
             rows.append(workload.measured_stats().as_row())
         else:
             rows.append(entry.published.as_row())

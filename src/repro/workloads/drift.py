@@ -22,7 +22,7 @@ import numpy as np
 from repro.analysis.zipf import ZipfDistribution
 from repro.exceptions import WorkloadError
 from repro.types import DatasetStats, Key
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, derive_seed
 
 _CHUNK = 200_000
 
@@ -46,7 +46,9 @@ class DriftingZipfWorkload(Workload):
         1.0 re-shuffles everything (strong drift, CT-like); 0.0 disables
         drift entirely (the stream degenerates to a plain Zipf workload).
     seed:
-        RNG seed.
+        RNG seed (int or string, normalised through
+        :func:`~repro.workloads.base.derive_seed`; ints pass through
+        unchanged).
     """
 
     symbol = "ZF-DRIFT"
@@ -58,7 +60,7 @@ class DriftingZipfWorkload(Workload):
         num_messages: int,
         num_epochs: int = 24,
         drift_fraction: float = 1.0,
-        seed: int = 0,
+        seed: int | str = 0,
     ) -> None:
         if num_messages < 0:
             raise WorkloadError(f"num_messages must be >= 0, got {num_messages}")
@@ -72,7 +74,7 @@ class DriftingZipfWorkload(Workload):
         self._num_messages = num_messages
         self._num_epochs = num_epochs
         self._drift_fraction = drift_fraction
-        self._seed = seed
+        self._seed = derive_seed(seed)
 
     @property
     def distribution(self) -> ZipfDistribution:

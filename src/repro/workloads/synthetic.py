@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.exceptions import WorkloadError
 from repro.types import DatasetStats, Key
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, derive_seed
 from repro.workloads.drift import DriftingZipfWorkload
 
 _CHUNK = 200_000
@@ -60,7 +60,7 @@ class _HeadBodyWorkload(Workload):
         num_body_keys: int,
         body_exponent: float,
         num_messages: int,
-        seed: int = 0,
+        seed: int | str = 0,
         description: str = "",
     ) -> None:
         if num_messages < 0:
@@ -80,7 +80,7 @@ class _HeadBodyWorkload(Workload):
         self._num_body_keys = num_body_keys
         self._body_exponent = body_exponent
         self._num_messages = num_messages
-        self._seed = seed
+        self._seed = derive_seed(seed)
         self._description = description
 
         # Body weights continue the Zipf curve at the ranks below the head.
@@ -173,7 +173,7 @@ class WikipediaLikeWorkload(_HeadBodyWorkload):
         self,
         num_messages: int = 2_000_000,
         num_body_keys: int = 100_000,
-        seed: int = 0,
+        seed: int | str = 0,
         full_scale: bool = False,
     ) -> None:
         if full_scale:
@@ -208,7 +208,7 @@ class TwitterLikeWorkload(_HeadBodyWorkload):
         self,
         num_messages: int = 2_000_000,
         num_body_keys: int = 200_000,
-        seed: int = 0,
+        seed: int | str = 0,
         full_scale: bool = False,
     ) -> None:
         if full_scale:
@@ -246,7 +246,7 @@ class CashtagLikeWorkload(Workload):
         num_keys: int = 2_900,
         num_hours: int = 80,
         exponent: float = 0.8,
-        seed: int = 0,
+        seed: int | str = 0,
     ) -> None:
         self._inner = DriftingZipfWorkload(
             exponent=exponent,

@@ -15,7 +15,7 @@ import numpy as np
 from repro.analysis.zipf import ZipfDistribution
 from repro.exceptions import WorkloadError
 from repro.types import DatasetStats, Key
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, derive_seed
 
 #: Generating huge streams in one numpy call would hold the whole array in
 #: memory; draw in chunks instead.
@@ -35,6 +35,9 @@ class ZipfWorkload(Workload):
         Stream length ``m``.
     seed:
         RNG seed; the stream is fully reproducible for a given seed.
+        Strings are accepted and normalised through
+        :func:`~repro.workloads.base.derive_seed` (ints pass through
+        unchanged, so explicit integer seeds keep their streams).
 
     Examples
     --------
@@ -50,13 +53,13 @@ class ZipfWorkload(Workload):
         exponent: float,
         num_keys: int,
         num_messages: int,
-        seed: int = 0,
+        seed: int | str = 0,
     ) -> None:
         if num_messages < 0:
             raise WorkloadError(f"num_messages must be >= 0, got {num_messages}")
         self._distribution = ZipfDistribution(exponent, num_keys)
         self._num_messages = num_messages
-        self._seed = seed
+        self._seed = derive_seed(seed)
 
     @property
     def distribution(self) -> ZipfDistribution:

@@ -50,7 +50,9 @@ class TestCiWorkflow:
         assert "push" in triggers and "pull_request" in triggers
 
     def test_has_lint_tests_and_suite_smoke_jobs(self, ci):
-        assert {"lint", "tests", "suite-smoke"} <= set(ci["jobs"])
+        assert {"lint", "tests", "suite-smoke", "scenario-regression"} <= set(
+            ci["jobs"]
+        )
 
     def test_lint_runs_ruff_over_all_source_trees(self, ci):
         commands = _job_commands(ci["jobs"]["lint"])
@@ -80,6 +82,13 @@ class TestCiWorkflow:
         commands = _job_commands(ci["jobs"]["suite-smoke"])
         assert "run fig17 --scale tiny --batch-size 1" in commands
         assert "run fig17 --scale tiny --batch-size 1024" in commands
+
+    def test_scenario_regression_job_runs_the_expected_suite(self, ci):
+        # The catalog's expected: bounds are CI assertions — the job must
+        # run the pytest suite that collects them plus the sweep smoke.
+        commands = _job_commands(ci["jobs"]["scenario-regression"])
+        assert "pytest -q tests/scenarios" in commands
+        assert "run scenarios --scale tiny" in commands
 
     def test_pr_job_smokes_the_columnar_bench(self, ci):
         # A PR that knocks the columnar path off its id-array fast path
@@ -143,6 +152,7 @@ class TestReferencedPathsExist:
             "BENCH_routing.json",
             "pyproject.toml",
             "docs/ci.md",
+            "tests/scenarios",
         ],
     )
     def test_path_exists(self, path):

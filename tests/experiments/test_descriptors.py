@@ -16,7 +16,9 @@ class TestDescriptors:
             descriptor = get_experiment(experiment_id).descriptor
             assert descriptor.experiment_id == experiment_id
             assert descriptor.title
-            assert descriptor.artifact.startswith(("Figure", "Table"))
+            # Paper artifacts, plus beyond-paper extensions ("... (ext.)")
+            # such as the scenario catalog.
+            assert descriptor.artifact.startswith(("Figure", "Table", "Scenarios"))
             assert descriptor.claim.rstrip().endswith(".")
             assert descriptor.kind in {"analytical", "simulation", "cluster", "dataflow"}
             assert descriptor.output.kind in {"series", "bars", "table"}

@@ -25,6 +25,7 @@ EXPECTED_EXPERIMENTS = {
     "fig15",
     "fig16",
     "fig17",
+    "scenarios",
     "table1",
 }
 
@@ -97,3 +98,55 @@ class TestCli:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestScenarioCli:
+    def test_scenario_list_names_the_catalog(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("flash_crowd", "single_key_flood", "drift_mixture"):
+            assert name in output
+
+    def test_scenario_show_prints_spec_and_seeds(self, capsys):
+        assert main(["scenario", "show", "single_key_flood"]) == 0
+        output = capsys.readouterr().out
+        assert "pattern: single_key_flood" in output
+        assert "truth seed" in output
+        assert "max_imbalance" in output
+
+    def test_scenario_show_unknown_name_fails_loudly(self, capsys):
+        assert main(["scenario", "show", "nope"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown scenario" in captured.err
+
+    def test_scenario_run_checks_expected_bounds(self, capsys):
+        exit_code = main(
+            [
+                "scenario", "run", "flash_crowd",
+                "--scheme", "D-C",
+                "--messages", "5000",
+                "--keys", "500",
+                "--workers", "8",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "within expected bounds" in output
+
+    def test_scenario_run_violation_exits_nonzero(self, capsys):
+        # KG puts the whole 40% flood on one worker — far past every bound.
+        exit_code = main(
+            [
+                "scenario", "run", "single_key_flood",
+                "--scheme", "KG",
+                "--messages", "5000",
+                "--keys", "500",
+                "--workers", "8",
+            ]
+        )
+        assert exit_code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_scenario_run_unknown_name(self, capsys):
+        assert main(["scenario", "run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,77 @@
+"""Scenario streams are representation-invariant for every scheme.
+
+Cataloged scenarios must produce byte-identical simulation results whether
+the stream is consumed scalar (``batch_size=1``), batched, or columnar —
+including when a rescale plan fires mid-stream.  This pins the scenario
+workload into the same equivalence contract the Zipf/drift/synthetic
+workloads already satisfy (``test_columnar_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partitioning.registry import available_schemes
+from repro.scenarios import CATALOG, build_workload
+from repro.simulation.runner import run_simulation
+
+#: Constructor extras for schemes whose signature requires them.
+SCHEME_OPTIONS: dict[str, dict[str, int]] = {
+    "GREEDY-D": {"num_choices": 4},
+    "FIXED-D": {"num_choices": 5},
+}
+
+NUM_MESSAGES = 6_000
+NUM_KEYS = 400
+
+
+def _snapshot(result):
+    return (
+        result.worker_loads,
+        result.final_imbalance,
+        result.memory_entries,
+        result.head_key_count,
+        result.distinct_key_count,
+        result.migration.to_dict() if result.migration else None,
+    )
+
+
+def _run(name, scheme, *, batch_size, columnar, rescale_plan=None):
+    workload = build_workload(name, NUM_MESSAGES, NUM_KEYS)
+    return run_simulation(
+        workload,
+        scheme=scheme,
+        num_workers=12,
+        num_sources=3,
+        scheme_options=SCHEME_OPTIONS.get(scheme, {}),
+        batch_size=batch_size,
+        columnar=columnar,
+        rescale_plan=rescale_plan,
+    )
+
+
+class TestScenarioRepresentationInvariance:
+    @pytest.mark.parametrize("scheme", available_schemes())
+    @pytest.mark.parametrize("name", list(CATALOG))
+    def test_scalar_batched_columnar_identical(self, name, scheme):
+        scalar = _run(name, scheme, batch_size=1, columnar=False)
+        batched = _run(name, scheme, batch_size=389, columnar=False)
+        columnar = _run(name, scheme, batch_size=613, columnar=True)
+        assert _snapshot(batched) == _snapshot(scalar)
+        assert _snapshot(columnar) == _snapshot(scalar)
+
+    @pytest.mark.parametrize("scheme", ["PKG", "D-C", "W-C", "CH"])
+    @pytest.mark.parametrize(
+        "name", ["flash_crowd", "single_key_flood", "drift_mixture"]
+    )
+    def test_rescale_plans_fire_identically(self, name, scheme):
+        plan = "join@1500,leave@3200,fail@4800"
+        scalar = _run(name, scheme, batch_size=1, columnar=False, rescale_plan=plan)
+        batched = _run(
+            name, scheme, batch_size=389, columnar=False, rescale_plan=plan
+        )
+        columnar = _run(
+            name, scheme, batch_size=613, columnar=True, rescale_plan=plan
+        )
+        assert _snapshot(batched) == _snapshot(scalar)
+        assert _snapshot(columnar) == _snapshot(scalar)

@@ -1,0 +1,142 @@
+"""Stream behaviour of scenario workloads: scale, support, determinism.
+
+The truth→render split promises: exact stream lengths, keys confined to
+``1..num_keys``, bit-identical reruns from the same spec, and render
+styles that change arrival order without changing what the keys are.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import CATALOG, ScenarioSpec, ScenarioWorkload, build_workload
+from repro.scenarios.render import BurstyRenderer, ShuffledEpochRenderer
+from repro.scenarios.truth import PATTERNS, make_truth
+
+NUM_MESSAGES = 6_000
+NUM_KEYS = 400
+
+
+class TestStreamContract:
+    @pytest.mark.parametrize("name", list(CATALOG))
+    def test_exact_length_and_key_support(self, name):
+        workload = build_workload(name, NUM_MESSAGES, NUM_KEYS)
+        keys = list(workload.keys())
+        assert len(keys) == NUM_MESSAGES
+        assert min(keys) >= 1 and max(keys) <= NUM_KEYS
+
+    @pytest.mark.parametrize("name", list(CATALOG))
+    def test_reiteration_is_identical(self, name):
+        workload = build_workload(name, 3_000, NUM_KEYS)
+        assert list(workload.keys()) == list(workload.keys())
+
+    def test_batches_flatten_to_the_scalar_stream(self):
+        workload = build_workload("diurnal_cycle", NUM_MESSAGES, NUM_KEYS)
+        scalar = list(workload.keys())
+        for batch_size in (1, 7, 512, 10_000):
+            batched = [key for batch in workload.iter_batches(batch_size) for key in batch]
+            assert batched == scalar
+
+    def test_columnar_batches_decode_to_the_scalar_stream(self):
+        workload = build_workload("hot_key_churn", NUM_MESSAGES, NUM_KEYS)
+        scalar = list(workload.keys())
+        decoded = []
+        for batch in workload.iter_batches_columnar(batch_size=379):
+            decoded.extend(batch.keys())
+        assert decoded == scalar
+
+    def test_stats_name_and_scale(self):
+        workload = build_workload("flash_crowd", 1_000, 100)
+        stats = workload.stats()
+        assert stats.name == "scenario:flash_crowd"
+        assert stats.messages == 1_000
+        assert stats.keys == 100
+
+
+class TestTruthProperties:
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    def test_epochs_cover_the_stream_with_valid_distributions(self, pattern):
+        truth = make_truth(pattern)
+        rng = np.random.default_rng(5)
+        total = 0
+        for length, probabilities in truth.epochs(9_999, 123, rng):
+            total += length
+            assert probabilities.shape == (123,)
+            assert np.all(probabilities >= 0)
+            assert probabilities.sum() == pytest.approx(1.0)
+        assert total == 9_999
+
+    def test_flash_crowd_spikes_a_cold_key(self):
+        truth = make_truth("flash_crowd", {"peak_share": 0.3, "start": 0.5})
+        rng = np.random.default_rng(11)
+        epochs = list(truth.epochs(10_000, 200, rng))
+        calm = epochs[0][1]
+        spiked = epochs[1][1]
+        crowd_key = int(np.argmax(spiked - calm))
+        assert spiked[crowd_key] >= 0.3
+        # the crowd key was cold before the flash (bottom half of ranks)
+        assert crowd_key >= 100
+
+    def test_key_space_growth_activates_keys_gradually(self):
+        truth = make_truth("key_space_growth", {"initial_fraction": 0.1})
+        rng = np.random.default_rng(7)
+        actives = [
+            int(np.count_nonzero(probabilities))
+            for _, probabilities in truth.epochs(8_000, 500, rng)
+        ]
+        assert actives[0] < actives[-1]
+        assert actives == sorted(actives)
+        assert actives[-1] == 500
+
+    def test_hot_key_churn_rotates_the_top_identity(self):
+        truth = make_truth("hot_key_churn", {"num_epochs": 4, "churn_ranks": 5})
+        rng = np.random.default_rng(3)
+        tops = [
+            int(np.argmax(probabilities))
+            for _, probabilities in truth.epochs(8_000, 200, rng)
+        ]
+        assert len(set(tops)) > 1
+
+
+class TestRenderProperties:
+    @staticmethod
+    def _one_epoch(num_keys=50):
+        probabilities = np.full(num_keys, 1.0 / num_keys)
+        return [(1_000, probabilities)]
+
+    def test_bursty_renderer_emits_runs(self):
+        spans = BurstyRenderer(burst_length=5).spans(
+            iter(self._one_epoch()), np.random.default_rng(0)
+        )
+        stream = np.concatenate(list(spans))
+        assert stream.size == 1_000
+        runs = stream[: 1_000 - (1_000 % 5)].reshape(-1, 5)
+        assert np.all(runs == runs[:, :1])  # every run repeats one key
+
+    def test_shuffled_epoch_renderer_hits_exact_multinomial_counts(self):
+        rng = np.random.default_rng(1)
+        probabilities = np.full(50, 1.0 / 50)
+        expected = np.random.default_rng(1).multinomial(1_000, probabilities)
+        spans = ShuffledEpochRenderer().spans(iter(self._one_epoch()), rng)
+        stream = np.concatenate(list(spans))
+        counts = np.bincount(stream, minlength=51)[1:]
+        assert np.array_equal(counts, expected)
+
+    def test_render_style_changes_order_not_popularity_process(self):
+        # Same name+seed, different render style: the truth seed (and thus
+        # the popularity process) is untouched; only arrivals change.
+        base = {"name": "probe", "pattern": "single_key_flood", "seed": 5}
+        iid = ScenarioWorkload(ScenarioSpec.from_dict(base), 8_000, 200)
+        shuffled = ScenarioWorkload(
+            ScenarioSpec.from_dict({**base, "render": {"style": "shuffled_epoch"}}),
+            8_000,
+            200,
+        )
+        iid_keys = list(iid.keys())
+        shuffled_keys = list(shuffled.keys())
+        assert iid_keys != shuffled_keys
+        # both renders flood the same key — the truth drew it once
+        assert max(set(iid_keys), key=iid_keys.count) == max(
+            set(shuffled_keys), key=shuffled_keys.count
+        )

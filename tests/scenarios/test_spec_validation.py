@@ -1,0 +1,203 @@
+"""Fail-loudly contract of scenario specs and the catalog.
+
+A spec missing its required ``pattern`` or ``seed``, naming an unknown
+pattern/render style, or lacking the ``expected:`` block that makes it a
+regression assertion must raise :class:`ScenarioError` naming the scenario
+— never fall back to a default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ScenarioError, WorkloadError
+from repro.scenarios import (
+    CATALOG,
+    ExpectedBounds,
+    ScenarioSpec,
+    build_workload,
+    check_result,
+    get_scenario,
+    list_scenarios,
+    make_renderer,
+    make_truth,
+)
+from repro.scenarios.truth import PATTERNS
+from repro.simulation.results import SimulationResult
+from repro.workloads.base import derive_seed
+
+
+class TestRequiredFields:
+    def test_missing_pattern_names_scenario_and_valid_patterns(self):
+        with pytest.raises(ScenarioError, match="'flashy'.*no 'pattern'"):
+            ScenarioSpec.from_dict({"name": "flashy", "seed": 1})
+        with pytest.raises(ScenarioError, match="flash_crowd"):
+            # the error enumerates the valid pattern names
+            ScenarioSpec.from_dict({"name": "flashy", "seed": 1})
+
+    def test_missing_seed_is_an_error(self):
+        with pytest.raises(ScenarioError, match="'flashy'.*no 'seed'"):
+            ScenarioSpec.from_dict({"name": "flashy", "pattern": "flash_crowd"})
+
+    def test_missing_name_is_an_error(self):
+        with pytest.raises(ScenarioError, match="no name"):
+            ScenarioSpec.from_dict({"pattern": "flash_crowd", "seed": 1})
+
+    def test_unknown_spec_fields_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown spec fields.*'patern'"):
+            ScenarioSpec.from_dict(
+                {"name": "x", "pattern": "flash_crowd", "seed": 1, "patern": "typo"}
+            )
+
+    def test_constructor_enforces_types(self):
+        with pytest.raises(ScenarioError, match="pattern"):
+            ScenarioSpec(name="x", pattern="", seed=1)
+        with pytest.raises(ScenarioError, match="seed"):
+            ScenarioSpec(name="x", pattern="flash_crowd", seed=None)
+        with pytest.raises(ScenarioError, match="seed"):
+            ScenarioSpec(name="x", pattern="flash_crowd", seed=True)
+
+
+class TestUnknownNames:
+    def test_unknown_pattern_lists_valid_patterns(self):
+        spec = ScenarioSpec(name="bad", pattern="mega_flood", seed=1)
+        with pytest.raises(ScenarioError) as excinfo:
+            spec.validate(require_expected=False)
+        message = str(excinfo.value)
+        assert "'bad'" in message and "mega_flood" in message
+        for pattern in sorted(PATTERNS):
+            assert pattern in message
+
+    def test_make_truth_and_renderer_fail_loudly(self):
+        with pytest.raises(ScenarioError, match="unknown pattern"):
+            make_truth("nope")
+        with pytest.raises(ScenarioError, match="unknown render style"):
+            make_renderer("nope")
+        with pytest.raises(ScenarioError, match="invalid truth options"):
+            make_truth("flash_crowd", {"peak_shore": 0.2}, scenario="s")
+        with pytest.raises(ScenarioError, match="invalid render options"):
+            make_renderer("bursty", {"bursts": 4}, scenario="s")
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(ScenarioError, match="unknown scenario 'nope'"):
+            get_scenario("nope")
+        with pytest.raises(ScenarioError, match="flash_crowd"):
+            get_scenario("nope")
+
+    def test_scenario_error_is_a_workload_error(self):
+        # Existing WorkloadError handlers keep catching scenario failures.
+        assert issubclass(ScenarioError, WorkloadError)
+
+
+class TestExpectedBlockContract:
+    def test_missing_expected_block_fails_for_cataloged_scenarios(self):
+        spec = ScenarioSpec(name="uncovered", pattern="flash_crowd", seed=3)
+        with pytest.raises(ScenarioError, match="'uncovered'.*no expected"):
+            spec.validate(require_expected=True)
+        # ... but is fine for ad-hoc exploration
+        assert spec.validate(require_expected=False) is spec
+
+    def test_empty_expected_block_counts_as_missing(self):
+        spec = ScenarioSpec(
+            name="hollow", pattern="flash_crowd", seed=3, expected=ExpectedBounds()
+        )
+        with pytest.raises(ScenarioError, match="'hollow'.*no expected"):
+            spec.validate(require_expected=True)
+
+    def test_unknown_bound_names_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown expected bounds.*max_skew"):
+            ExpectedBounds.from_dict({"max_skew": 1.0}, scenario="s")
+
+    def test_check_result_without_bounds_is_an_error(self):
+        spec = ScenarioSpec(name="hollow", pattern="flash_crowd", seed=3)
+        result = SimulationResult(
+            scheme="PKG", num_workers=2, num_sources=1, num_messages=0,
+            final_imbalance=0.0, average_imbalance=0.0,
+        )
+        with pytest.raises(ScenarioError, match="no expected"):
+            check_result(spec, result)
+
+    def test_per_scheme_override_beats_default(self):
+        bounds = ExpectedBounds(
+            max_imbalance=0.01, per_scheme={"PKG": {"max_imbalance": 0.5}}
+        )
+        assert bounds.bound("max_imbalance", "PKG") == 0.5
+        assert bounds.bound("max_imbalance", "D-C") == 0.01
+        violations = bounds.check(
+            imbalance=0.1, replication=1.0, p99_load_factor=1.0, scheme="PKG"
+        )
+        assert violations == []
+        violations = bounds.check(
+            imbalance=0.1, replication=1.0, p99_load_factor=1.0, scheme="D-C"
+        )
+        assert len(violations) == 1 and "max_imbalance" in violations[0]
+
+
+class TestCatalogIntegrity:
+    def test_catalog_has_at_least_six_scenarios(self):
+        assert len(CATALOG) >= 6
+
+    def test_every_entry_validates_with_expected_bounds(self):
+        for name, spec in CATALOG.items():
+            assert spec.name == name
+            assert spec.expected is not None and not spec.expected.is_empty()
+            spec.validate(require_expected=True)
+
+    def test_catalog_covers_the_advertised_patterns(self):
+        patterns = {spec.pattern for spec in CATALOG.values()}
+        assert {
+            "flash_crowd",
+            "hot_key_churn",
+            "diurnal_cycle",
+            "key_space_growth",
+            "single_key_flood",
+            "drift_mixture",
+        } <= patterns
+
+    def test_list_scenarios_order_matches_catalog(self):
+        assert list_scenarios() == list(CATALOG)
+
+    def test_component_seeds_derive_from_name_component_seed(self):
+        spec = get_scenario("flash_crowd")
+        assert spec.component_seed("truth") == derive_seed(
+            spec.name, "truth", spec.seed
+        )
+        assert spec.component_seed("truth") != spec.component_seed("render")
+
+    def test_build_workload_rejects_bad_scales(self):
+        with pytest.raises(ScenarioError, match="num_messages"):
+            build_workload("flash_crowd", num_messages=-1, num_keys=10)
+        with pytest.raises(ScenarioError, match="num_keys"):
+            build_workload("flash_crowd", num_messages=10, num_keys=0)
+
+
+class TestYamlSpecs:
+    def test_yaml_round_trip(self):
+        spec = ScenarioSpec.from_yaml(
+            """
+            name: my_flood
+            pattern: single_key_flood
+            seed: 99
+            truth:
+              flood_share: 0.5
+            render:
+              style: bursty
+              burst_length: 3
+            expected:
+              max_imbalance: 0.4
+            """
+        )
+        assert spec.pattern == "single_key_flood"
+        assert spec.truth_options == {"flood_share": 0.5}
+        assert spec.render.style == "bursty"
+        assert spec.expected is not None
+        assert spec.expected.max_imbalance == 0.4
+        spec.validate(require_expected=True)
+
+    def test_yaml_missing_pattern_fails_loudly(self):
+        with pytest.raises(ScenarioError, match="no 'pattern'"):
+            ScenarioSpec.from_yaml("name: broken\nseed: 1\n")
+
+    def test_yaml_non_mapping_rejected(self):
+        with pytest.raises(ScenarioError, match="mapping"):
+            ScenarioSpec.from_yaml("- just\n- a list\n")

@@ -1,0 +1,93 @@
+"""Regression pins for the unified ``derive_seed`` contract.
+
+Every workload and scenario component derives its RNG seed through
+``derive_seed``; these pins freeze the contract so seeds (and therefore
+every cached experiment fingerprint and published number) never drift:
+
+- a single non-negative int is the identity — pre-existing integer seeds
+  keep producing the exact streams they always did;
+- anything else is hashed through SHA-256 of the parts joined with the
+  unit separator, masked to 63 bits — stable across processes, platforms
+  and Python versions (unlike the salted builtin ``hash``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.base import derive_seed
+from repro.workloads.drift import DriftingZipfWorkload
+from repro.workloads.synthetic import WikipediaLikeWorkload
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+class TestDeriveSeedContract:
+    def test_single_small_int_is_identity(self):
+        # The load-bearing guarantee: every experiment config that passes
+        # an explicit integer seed keeps its exact stream and fingerprint.
+        for seed in (0, 1, 7, 42, 1601, 2**62):
+            assert derive_seed(seed) == seed
+
+    def test_negative_and_oversized_ints_fold_into_range(self):
+        assert derive_seed(-3) == 3
+        assert derive_seed(2**63 + 5) == 5
+
+    def test_pinned_derived_values(self):
+        # SHA-256-derived constants; a change here means every string-seeded
+        # stream in existence silently changed. Do not update casually.
+        assert derive_seed("flash_crowd", "truth", 42) == 5250009266533377696
+        assert derive_seed("flash_crowd", "render", 42) == 3512429168804915010
+        assert derive_seed("a", "b") == 8092085543480239773
+        assert derive_seed("ab") == 8903089780838645540
+        assert derive_seed(1, 2) == 1292624397657047035
+
+    def test_range_and_determinism(self):
+        values = {
+            derive_seed("scenario", component, seed)
+            for component in ("truth", "render", "noise")
+            for seed in range(25)
+        }
+        assert len(values) == 75  # components and seeds never collide here
+        for value in values:
+            assert 0 <= value < 2**63
+        assert derive_seed("scenario", "truth", 3) == derive_seed(
+            "scenario", "truth", 3
+        )
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+        assert derive_seed("ab") != derive_seed("a", "b")
+
+    def test_no_parts_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed()
+
+
+class TestWorkloadAdoption:
+    def test_int_seed_streams_unchanged(self):
+        # Fingerprint of the first keys of a seed-7 Zipf stream — pinned so
+        # the derive_seed adoption provably kept integer-seed behaviour.
+        keys = list(ZipfWorkload(1.2, 100, 10, seed=7))
+        assert keys == [8, 43, 18, 1, 2, 36, 1, 25, 21, 3]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: ZipfWorkload(1.3, 500, 2_000, seed=seed),
+            lambda seed: DriftingZipfWorkload(1.3, 500, 2_000, num_epochs=4, seed=seed),
+            lambda seed: WikipediaLikeWorkload(2_000, seed=seed),
+        ],
+        ids=["zipf", "drift", "wikipedia"],
+    )
+    def test_string_seeds_accepted_and_deterministic(self, factory):
+        first = list(factory("trial-a").keys())
+        again = list(factory("trial-a").keys())
+        other = list(factory("trial-b").keys())
+        assert first == again
+        assert first != other
+
+    def test_string_seed_equals_derived_int_seed(self):
+        derived = derive_seed("trial-a")
+        assert list(ZipfWorkload(1.3, 500, 1_000, seed="trial-a")) == list(
+            ZipfWorkload(1.3, 500, 1_000, seed=derived)
+        )

@@ -156,3 +156,54 @@ class TestCatalog:
 
     def test_substitution_notes_present(self):
         assert all(entry.substitution_note for entry in DATASETS.values())
+
+    def test_load_dataset_rejects_unknown_kwargs(self):
+        # A typo must not silently build a default-sized stream.
+        with pytest.raises(WorkloadError, match="num_mesages"):
+            load_dataset("ZF", num_mesages=10)
+        with pytest.raises(WorkloadError, match="WP"):
+            load_dataset("WP", exponent=1.5)  # WP has no exponent knob
+
+
+class TestTable1Measured:
+    """Measured stand-in stats track the published Table I numbers."""
+
+    @staticmethod
+    def _measured_rows():
+        rows = table1_rows(
+            measured=True,
+            overrides={
+                "WP": {"num_messages": 150_000, "num_body_keys": 20_000},
+                "TW": {"num_messages": 150_000, "num_body_keys": 30_000},
+                # One hour isolates the within-epoch distribution the CT
+                # stand-in was calibrated on (drift dilutes the global p1).
+                "CT": {"num_messages": 150_000, "num_hours": 1},
+            },
+            num_messages=150_000,
+            exponent=2.0,
+            num_keys=10_000,
+        )
+        return {row["Symbol"]: row for row in rows}
+
+    def test_measured_p1_matches_published_within_tolerance(self):
+        rows = self._measured_rows()
+        # Published Table I p1 values: WP 9.32%, TW 2.67%, CT 3.29%.
+        assert rows["WP"]["p1(%)"] == pytest.approx(9.32, abs=1.0)
+        assert rows["TW"]["p1(%)"] == pytest.approx(2.67, abs=0.7)
+        assert rows["CT"]["p1(%)"] == pytest.approx(3.29, abs=2.5)
+        # ZF publishes no p1 (NaN); the Zipf(z=2) stand-in must match the
+        # analytic value p1 = 1/zeta(2) ~ 60.8%.
+        assert rows["ZF"]["p1(%)"] == pytest.approx(60.8, abs=2.0)
+
+    def test_measured_scale_honours_overrides(self):
+        rows = self._measured_rows()
+        for symbol in ("WP", "TW", "CT", "ZF"):
+            assert rows[symbol]["Messages"] == 150_000
+
+    def test_unknown_override_symbol_rejected(self):
+        with pytest.raises(WorkloadError, match="XX"):
+            table1_rows(measured=True, overrides={"XX": {}})
+
+    def test_invalid_override_kwargs_rejected(self):
+        with pytest.raises(WorkloadError, match="CT"):
+            table1_rows(measured=True, overrides={"CT": {"num_mesages": 10}})
