@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Scaling benchmark of the multi-process cluster runtime.
+
+Runs the same Zipf stream through real source/worker processes at 1, 2, 4
+and 8 workers for PKG, KG and D-Choices and records the aggregate
+throughput, the realised imbalance and the scaling factor versus the
+1-worker run into ``BENCH_cluster.json``::
+
+    {"PKG@w1": {"agg_msgs_per_sec": ..., "imbalance": ..., ...},
+     "PKG@w4": {..., "scaling_vs_1w": 2.4, ...}, ..., "_meta": {...}}
+
+Every 4-worker cell is also validated against the simulator: the runtime
+has a single router, so a ``num_sources=1`` simulation of the identical
+workload/seed must predict the per-worker counts exactly — the script
+exits non-zero when the realised imbalance drifts more than the tolerance
+from the prediction.
+
+The workers model an I/O-bound operator: each *blocks* for ``service_ns``
+per message (state-store writes, not CPU burn), so aggregate throughput
+scales with worker count through pipeline overlap even on a single-core
+container — ``_meta.cpu_count`` records what the box actually had (see
+docs/runtime.md for why this is the honest design on 1 CPU).
+
+Usage::
+
+    python benchmarks/bench_cluster_runtime.py                 # full curve
+    python benchmarks/bench_cluster_runtime.py --quick         # CI subset
+    python benchmarks/bench_cluster_runtime.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy
+
+from repro.runtime import ClusterConfig, run_cluster, validate_against_simulation
+
+SCHEMES = ("PKG", "KG", "D-C")
+WORKER_COUNTS = (1, 2, 4, 8)
+NUM_MESSAGES = 80_000
+NUM_KEYS = 5_000
+SKEW = 1.4
+SEED = 0
+SERVICE_NS = 20_000
+BATCH_SIZE = 512
+VALIDATION_TOLERANCE = 0.2
+
+
+def _git_commit() -> str:
+    cwd = Path(__file__).resolve().parent
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if probe.returncode != 0 or not probe.stdout.strip():
+            return "unknown"
+        commit = probe.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if dirty.returncode == 0 and dirty.stdout.strip():
+            commit += "-dirty"
+        return commit
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+
+
+def make_config(scheme: str, num_workers: int, num_messages: int) -> ClusterConfig:
+    return ClusterConfig(
+        scheme=scheme,
+        num_workers=num_workers,
+        num_messages=num_messages,
+        num_keys=NUM_KEYS,
+        skew=SKEW,
+        seed=SEED,
+        service_ns=SERVICE_NS,
+        mode=f"columnar:{BATCH_SIZE}",
+    )
+
+
+def run_bench(
+    schemes=SCHEMES,
+    worker_counts=WORKER_COUNTS,
+    num_messages: int = NUM_MESSAGES,
+    validate_at: int = 4,
+) -> tuple[dict, list[str]]:
+    """Measure the scaling curve; returns (results, validation failures)."""
+    results: dict = {}
+    failures: list[str] = []
+    print(f"{'cell':10s} {'msgs/s':>12s} {'elapsed':>9s} {'imbalance':>10s} {'vs 1w':>7s}")
+    for scheme in schemes:
+        base_rate = None
+        for num_workers in worker_counts:
+            config = make_config(scheme, num_workers, num_messages)
+            result = run_cluster(config)
+            rate = result.agg_msgs_per_sec
+            if num_workers == min(worker_counts):
+                base_rate = rate
+            scaling = rate / base_rate if base_rate else 1.0
+            entry = {
+                "agg_msgs_per_sec": round(rate),
+                "elapsed_s": round(result.elapsed_s, 4),
+                "imbalance": round(result.imbalance, 6),
+                "scaling_vs_1w": round(scaling, 2),
+                "min_worker_processed": min(result.worker_processed),
+                "max_worker_processed": max(result.worker_processed),
+            }
+            if num_workers == validate_at:
+                check = validate_against_simulation(
+                    config, result, tolerance=VALIDATION_TOLERANCE
+                )
+                entry["sim_imbalance"] = round(check["simulated_imbalance"], 6)
+                entry["imbalance_rel_diff"] = round(
+                    check["relative_difference"], 6
+                )
+                entry["loads_match_simulation"] = check["loads_match"]
+                if not check["within_tolerance"]:
+                    failures.append(
+                        f"{scheme}@w{num_workers}: real imbalance "
+                        f"{check['real_imbalance']:.6f} deviates "
+                        f"{check['relative_difference']:.1%} from simulated "
+                        f"{check['simulated_imbalance']:.6f} "
+                        f"(tolerance {VALIDATION_TOLERANCE:.0%})"
+                    )
+            results[f"{scheme}@w{num_workers}"] = entry
+            print(
+                f"{scheme}@w{num_workers:<4d} {rate:>12,.0f} "
+                f"{result.elapsed_s:>8.3f}s {result.imbalance:>10.4f} "
+                f"{scaling:>6.2f}x"
+            )
+    results["_meta"] = {
+        "workload": f"Zipf({SKEW}), |K|={NUM_KEYS}, m={num_messages}",
+        "schemes": list(schemes),
+        "worker_counts": list(worker_counts),
+        "service_ns": SERVICE_NS,
+        "batch_size": BATCH_SIZE,
+        "seed": SEED,
+        "validation_tolerance": VALIDATION_TOLERANCE,
+        # Scaling on this runtime comes from overlapping *blocking* service
+        # time, so it is meaningful even when cpu_count == 1 — but record
+        # the cpu count so readers can judge the numbers in context.
+        "cpu_count": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "git_commit": _git_commit(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    return results, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_cluster.json",
+        help="where to write the results (default: BENCH_cluster.json)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI subset: PKG only, 1 and 4 workers, smaller stream",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        results, failures = run_bench(
+            schemes=("PKG",), worker_counts=(1, 4), num_messages=40_000
+        )
+    else:
+        results, failures = run_bench()
+
+    Path(args.output).write_text(
+        json.dumps(results, indent=1) + "\n", encoding="utf-8"
+    )
+    print(f"results written to {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,17 @@ regenerated); the error lists the metrics the baseline does carry.
 Baselines and CI runners have different hardware, so the default threshold
 is deliberately loose: it catches algorithmic regressions (an accidental
 O(n) in the hot loop), not noise.
+
+A second mode guards a *single* file against an absolute floor instead of a
+committed baseline — useful for ratio metrics (like the cluster runtime's
+``scaling_vs_1w``) that are already hardware-normalised::
+
+    python benchmarks/check_bench_regression.py \
+        --bench-file bench-cluster-ci.json \
+        --metric scaling_vs_1w --schemes PKG@w4 --min-value 1.5
+
+Every named entry must carry the metric at or above ``--min-value``; a
+missing entry or metric is a hard failure, same as explicit-schemes mode.
 """
 
 from __future__ import annotations
@@ -103,6 +114,37 @@ def compare(
     return failures
 
 
+def check_floor(
+    bench: dict,
+    min_value: float,
+    metric: str = DEFAULT_METRIC,
+    schemes: list[str] | None = None,
+) -> list[str]:
+    """Return one failure message per entry below the floor (empty = pass).
+
+    Unlike :func:`compare`, there is no baseline file: each entry's metric
+    is held against an absolute ``min_value``.  Entries are never skipped —
+    a floor guard that cannot find what it was told to watch has failed.
+    """
+    failures: list[str] = []
+    names = schemes or [name for name in bench if not name.startswith("_")]
+    if not names:
+        return [f"no entries to hold against the {metric} floor"]
+    for name in names:
+        entry = bench.get(name)
+        if not isinstance(entry, dict) or metric not in entry:
+            failures.append(f"{name}: no {metric} was measured")
+            continue
+        value = float(entry[metric])
+        status = "ok" if value >= min_value else "BELOW FLOOR"
+        print(f"{name:8s} {metric}: {value:,.6g} (floor {min_value:,.6g}) {status}")
+        if status != "ok":
+            failures.append(
+                f"{name}: {metric} {value:,.6g} is below the floor {min_value:,.6g}"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -110,12 +152,23 @@ def main(argv: list[str] | None = None) -> int:
         help="committed baseline JSON (default: BENCH_routing.json)",
     )
     parser.add_argument(
-        "--current", required=True,
+        "--current", default=None,
         help="freshly measured JSON to compare against the baseline",
     )
     parser.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help=f"allowed fractional drop (default: {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--bench-file", default=None, metavar="PATH",
+        help=(
+            "floor mode: guard this single file against --min-value "
+            "instead of comparing --current to --baseline"
+        ),
+    )
+    parser.add_argument(
+        "--min-value", type=float, default=None, metavar="VALUE",
+        help="floor mode: minimum acceptable value for every guarded metric",
     )
     parser.add_argument(
         "--metric", nargs="+", default=[DEFAULT_METRIC], metavar="METRIC",
@@ -132,16 +185,33 @@ def main(argv: list[str] | None = None) -> int:
     if not 0.0 <= args.threshold < 1.0:
         parser.error(f"--threshold must be in [0, 1), got {args.threshold}")
 
-    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
-    current = json.loads(Path(args.current).read_text(encoding="utf-8"))
     failures: list[str] = []
-    for metric in args.metric:
-        failures.extend(
-            compare(
-                baseline, current,
-                threshold=args.threshold, metric=metric, schemes=args.schemes,
+    if args.bench_file is not None:
+        if args.current is not None:
+            parser.error("--bench-file (floor mode) and --current are exclusive")
+        if args.min_value is None:
+            parser.error("--bench-file requires --min-value")
+        bench = json.loads(Path(args.bench_file).read_text(encoding="utf-8"))
+        for metric in args.metric:
+            failures.extend(
+                check_floor(
+                    bench, args.min_value, metric=metric, schemes=args.schemes
+                )
             )
-        )
+    else:
+        if args.min_value is not None:
+            parser.error("--min-value only applies in --bench-file floor mode")
+        if args.current is None:
+            parser.error("--current is required (or use --bench-file floor mode)")
+        baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        current = json.loads(Path(args.current).read_text(encoding="utf-8"))
+        for metric in args.metric:
+            failures.extend(
+                compare(
+                    baseline, current,
+                    threshold=args.threshold, metric=metric, schemes=args.schemes,
+                )
+            )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

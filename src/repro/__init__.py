@@ -38,14 +38,17 @@ from repro.elasticity import (
 )
 from repro.exceptions import (
     AnalysisError,
+    ClusterRuntimeError,
     ConfigurationError,
     PartitioningError,
     ReproError,
     ScenarioError,
     SimulationError,
     SketchError,
+    WorkerCrashError,
     WorkloadError,
 )
+from repro.execution import ExecutionMode
 from repro.operators import (
     AverageAggregator,
     CountAggregator,
@@ -97,12 +100,14 @@ __all__ = [
     "__version__",
     # exceptions
     "AnalysisError",
+    "ClusterRuntimeError",
     "ConfigurationError",
     "PartitioningError",
     "ReproError",
     "ScenarioError",
     "SimulationError",
     "SketchError",
+    "WorkerCrashError",
     "WorkloadError",
     # types
     "DatasetStats",
@@ -169,6 +174,8 @@ __all__ = [
     "WorkerFail",
     "WorkerJoin",
     "WorkerLeave",
+    # execution
+    "ExecutionMode",
     # simulation
     "SimulationConfig",
     "SimulationResult",

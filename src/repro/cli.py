@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-slb``.
 
-Five sub-commands:
+Six sub-commands:
 
 * ``list`` — show the available experiments (one per paper figure/table);
 * ``run <experiment-id>`` — run one experiment and print its rows
@@ -15,6 +15,11 @@ Five sub-commands:
   one spec (pattern, seeds, render, expected bounds), and ``scenario run
   <name>`` simulates it under one scheme and checks the realised metrics
   against the spec's ``expected:`` block (exit 1 on violation);
+* ``cluster-run`` — route one Zipf stream through the real multi-process
+  cluster runtime (source + N worker processes over shared-memory rings)
+  and report aggregate throughput, per-worker counts and imbalance;
+  ``--validate`` additionally checks the realised imbalance against the
+  simulator's prediction (exit 1 on deviation beyond tolerance);
 * ``suite`` — orchestrate the whole reproduction: ``suite run`` executes
   every registered experiment across a process pool with content-addressed
   caching under ``results/``, ``suite report`` summarises the store, and
@@ -27,11 +32,43 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.execution import ExecutionMode
 from repro.experiments.common import print_result
 from repro.experiments.descriptor import SCALES
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
+
+#: Help text shared by every ``--mode`` flag.
+_MODE_HELP = (
+    "execution mode spec: scalar, batched[:N] or columnar[:N] "
+    "(e.g. columnar:4096); results are identical for every mode, only "
+    "the throughput changes"
+)
+
+
+def _mode_from_args(
+    mode: str | None, batch_size: int | None
+) -> ExecutionMode | None:
+    """Resolve the CLI's ``--mode`` / legacy ``--batch-size`` flags.
+
+    ``--mode`` wins; passing both is ambiguous and rejected (exit 2, like
+    any argparse usage error).  Returns ``None`` when neither flag was
+    given so callers can keep their own default.
+    """
+    if mode is not None and batch_size is not None:
+        print(
+            "error: pass either --mode or --batch-size, not both",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if mode is not None:
+        return ExecutionMode.coerce(mode)
+    if batch_size is None:
+        return None
+    if batch_size == 1:
+        return ExecutionMode.scalar()
+    return ExecutionMode.batched(batch_size)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -74,11 +111,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help=(
-            "override the routing/dataflow batch size of the experiment "
-            "config (when it has one); results are identical for every "
-            "value, 1 forces scalar execution"
+            "(deprecated alias of --mode) override the routing/dataflow "
+            "batch size of the experiment config (when it has one); "
+            "results are identical for every value, 1 forces scalar "
+            "execution"
         ),
     )
+    run_parser.add_argument("--mode", default=None, help=_MODE_HELP)
 
     sim_parser = subparsers.add_parser(
         "simulate", help="ad-hoc simulation of one scheme on a Zipf stream"
@@ -118,13 +157,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--batch-size",
         type=int,
-        default=1024,
+        default=None,
         help=(
-            "messages routed per route_batch call on the fast path; "
-            "results are identical for every value, 1 forces scalar "
-            "routing (default: 1024)"
+            "(deprecated alias of --mode) messages routed per route_batch "
+            "call on the fast path; results are identical for every "
+            "value, 1 forces scalar routing (default: 1024)"
         ),
     )
+    sim_parser.add_argument("--mode", default=None, help=_MODE_HELP)
     sim_parser.add_argument(
         "--rescale",
         metavar="SPEC",
@@ -200,8 +240,72 @@ def _build_parser() -> argparse.ArgumentParser:
         help="key-space size |K| of the scenario (default: 5000)",
     )
     scenario_run.add_argument(
-        "--batch-size", type=int, default=1024,
-        help="messages routed per route_batch call (default: 1024)",
+        "--batch-size", type=int, default=None,
+        help=(
+            "(deprecated alias of --mode) messages routed per route_batch "
+            "call (default: 1024)"
+        ),
+    )
+    scenario_run.add_argument("--mode", default=None, help=_MODE_HELP)
+
+    cluster_parser = subparsers.add_parser(
+        "cluster-run",
+        help=(
+            "route one Zipf stream through the real multi-process cluster "
+            "runtime (shared-memory rings) and report the throughput"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--scheme",
+        default="PKG",
+        help=(
+            "grouping scheme name from the partitioner registry "
+            "(KG, PKG, D-C, W-C, RR, ...); default: PKG"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--workers", type=int, default=4,
+        help="number of worker processes n (default: 4)",
+    )
+    cluster_parser.add_argument(
+        "--messages", type=int, default=50_000,
+        help="stream length m in messages (default: 50000)",
+    )
+    cluster_parser.add_argument(
+        "--keys", type=int, default=5_000,
+        help="key-space size |K| of the Zipf stream (default: 5000)",
+    )
+    cluster_parser.add_argument(
+        "--skew", type=float, default=1.4,
+        help="Zipf exponent z of the key distribution (default: 1.4)",
+    )
+    cluster_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for the workload and the scheme (default: 0)",
+    )
+    cluster_parser.add_argument(
+        "--service-ns", type=int, default=10_000,
+        help=(
+            "modeled per-message service time in nanoseconds — each worker "
+            "blocks this long per message, standing in for an I/O-bound "
+            "operator (default: 10000)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--mode", default="columnar:512",
+        help=(
+            "execution mode spec; the cluster runtime is columnar-only, so "
+            "this selects the frame size, e.g. columnar:4096 "
+            "(default: columnar:512)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "also simulate the identical workload and check the realised "
+            "imbalance against the prediction (exit 1 beyond tolerance)"
+        ),
     )
 
     suite_parser = subparsers.add_parser(
@@ -360,12 +464,13 @@ def _scenario_main(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         workload = build_workload(spec, num_messages=args.messages, num_keys=args.keys)
+        mode = _mode_from_args(args.mode, args.batch_size)
         result = run_simulation(
             workload,
             scheme=args.scheme,
             num_workers=args.workers,
             num_sources=args.sources,
-            batch_size=args.batch_size,
+            mode=mode or ExecutionMode.batched(),
         )
         print(f"scenario: {spec.name} ({spec.pattern}), scheme {args.scheme}, "
               f"{args.workers} workers, {args.messages} messages")
@@ -383,6 +488,47 @@ def _scenario_main(args: argparse.Namespace) -> int:
     raise AssertionError(
         f"unknown scenario command {args.scenario_command!r}"
     )  # pragma: no cover
+
+
+def _cluster_main(args: argparse.Namespace) -> int:
+    from repro.exceptions import ClusterRuntimeError, ConfigurationError
+    from repro.runtime import ClusterConfig, run_cluster, validate_against_simulation
+
+    try:
+        config = ClusterConfig(
+            scheme=args.scheme,
+            num_workers=args.workers,
+            num_messages=args.messages,
+            num_keys=args.keys,
+            skew=args.skew,
+            seed=args.seed,
+            service_ns=args.service_ns,
+            mode=args.mode,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = run_cluster(config)
+    except ClusterRuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for name, value in result.summary().items():
+        print(f"{name}: {value}")
+    if not args.validate:
+        return 0
+    report = validate_against_simulation(config, result)
+    print(f"simulated_imbalance: {report['simulated_imbalance']:.6f}")
+    print(f"imbalance_rel_diff: {report['relative_difference']:.6f}")
+    print(f"loads_match_simulation: {report['loads_match']}")
+    if not report["within_tolerance"]:
+        print(
+            "VIOLATED realised imbalance deviates from the simulator "
+            "beyond tolerance",
+        )
+        return 1
+    print("within simulator tolerance")
+    return 0
 
 
 def _suite_main(args: argparse.Namespace) -> int:
@@ -451,7 +597,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "run":
         entry = get_experiment(args.experiment)
-        result = entry.descriptor.run_at(args.scale, batch_size=args.batch_size)
+        mode = _mode_from_args(args.mode, args.batch_size)
+        result = entry.descriptor.run_at(args.scale, mode=mode)
         print_result(result)
         if args.export:
             from repro.reporting.export import write_result
@@ -467,13 +614,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             num_messages=args.messages,
             seed=args.seed,
         )
+        mode = _mode_from_args(args.mode, args.batch_size)
         result = run_simulation(
             workload,
             scheme=args.scheme,
             num_workers=args.workers,
             num_sources=args.sources,
             seed=args.seed,
-            batch_size=args.batch_size,
+            mode=mode or ExecutionMode.batched(),
             rescale_plan=args.rescale,
             rescale_policy=args.rescale_policy,
             migration_window=args.migration_window,
@@ -491,6 +639,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"{record.tuples_misrouted} tuples misrouted"
                 )
         return 0
+
+    if args.command == "cluster-run":
+        return _cluster_main(args)
 
     if args.command == "scenario":
         return _scenario_main(args)

@@ -38,6 +38,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.dataflow.graph import Edge, Topology, Vertex
 from repro.exceptions import ConfigurationError
+from repro.execution import ExecutionMode, ModeLike, resolve_mode
 from repro.operators.base import Operator
 from repro.partitioning.base import Partitioner
 from repro.partitioning.registry import create_partitioner
@@ -625,20 +626,23 @@ def run_topology(
     workload: Iterable[Key | Message],
     seed: int = 0,
     num_external_sources: int = 1,
-    batch_size: int = DEFAULT_BATCH_SIZE,
-    columnar: bool = False,
+    batch_size: int | None = None,
+    columnar: bool | None = None,
+    mode: ModeLike | None = None,
 ) -> TopologyResult:
     """Validate, instantiate and run ``topology`` over ``workload``.
 
-    ``batch_size`` controls how many input messages each micro-batch pulls;
-    results are byte-identical for every value (1 forces the scalar
-    depth-first path), only the throughput changes.
-
-    ``columnar=True`` ingests the workload as interned key-id arrays: the
-    source edges route id arrays and terminal stateful vertices fold their
-    shares in id space — string keys are hashed once and results stay
-    byte-identical.  Columnar mode expects a key stream (not pre-built
-    messages).
+    ``mode`` selects the execution backend
+    (:class:`~repro.execution.ExecutionMode`): scalar runs the depth-first
+    per-message path, batched pulls micro-batches of ``batch_size`` input
+    messages, and columnar ingests the workload as interned key-id arrays —
+    the source edges route id arrays and terminal stateful vertices fold
+    their shares in id space (string keys are hashed once; columnar mode
+    expects a key stream, not pre-built messages).  Results are
+    byte-identical for every mode, only the throughput changes.  The
+    default is the historical ``batched(1024)``; the legacy ``batch_size=``
+    / ``columnar=`` keywords remain as deprecated aliases emitting a
+    :class:`DeprecationWarning`.
 
     Examples
     --------
@@ -650,11 +654,15 @@ def run_topology(
     >>> result.vertex_metrics("count").messages
     100
     """
+    resolved = resolve_mode(
+        mode, batch_size, columnar,
+        default=ExecutionMode.batched(DEFAULT_BATCH_SIZE), where="run_topology",
+    )
     runtime = TopologyRuntime(
         topology,
         seed=seed,
         num_external_sources=num_external_sources,
-        batch_size=batch_size,
-        columnar=columnar,
+        batch_size=resolved.batch_size,
+        columnar=resolved.is_columnar,
     )
     return runtime.run(workload)

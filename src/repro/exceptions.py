@@ -54,6 +54,34 @@ class SimulationError(ReproError):
     """The simulation or cluster engine reached an inconsistent state."""
 
 
+class ClusterRuntimeError(ReproError, RuntimeError):
+    """The multi-process cluster runtime failed.
+
+    Covers shared-memory ring protocol violations (sequence gaps, oversized
+    frames), startup failures and shutdown timeouts.  Subclasses
+    :class:`RuntimeError` as well: runtime faults are operational errors,
+    not configuration mistakes.
+    """
+
+
+class WorkerCrashError(ClusterRuntimeError):
+    """A cluster worker process died or stopped heartbeating mid-run.
+
+    Attributes
+    ----------
+    worker_id:
+        The worker that failed (named in the message as well).
+    partial:
+        Whatever results were salvaged from the still-healthy workers, or
+        ``None`` when nothing could be recovered.
+    """
+
+    def __init__(self, worker_id: int, message: str, partial=None) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.partial = partial
+
+
 class AnalysisError(ReproError):
     """An analytical routine received parameters outside its domain.
 

@@ -1,0 +1,217 @@
+"""Unified execution-mode API for every stream-execution backend.
+
+The library grew three ways to push a stream through a partitioner — the
+scalar per-message loop, the batched ``route_batch`` fast path and the
+columnar ``route_batch_columnar`` id-array path — and historically each
+entry point (``run_simulation``, ``route_stream``, ``run_topology``)
+threaded its own ``batch_size=`` / ``columnar=`` knobs.  With the
+multi-process cluster runtime (:mod:`repro.runtime`) as a fourth backend
+that ad-hoc plumbing stops scaling, so the choice is now one value:
+
+>>> from repro.execution import ExecutionMode
+>>> ExecutionMode.scalar()
+ExecutionMode(kind='scalar', batch_size=1)
+>>> ExecutionMode.batched(2048)
+ExecutionMode(kind='batched', batch_size=2048)
+>>> ExecutionMode.parse("columnar:8192")
+ExecutionMode(kind='columnar', batch_size=8192)
+
+Every entry point accepts ``mode=`` (an :class:`ExecutionMode` or a spec
+string) and the legacy ``batch_size=`` / ``columnar=`` keyword arguments
+keep working as deprecated aliases — byte-identical results, plus a
+:class:`DeprecationWarning`.  The cluster runtime consumes the same object
+for its source feed (it requires a columnar mode, because its shared-memory
+rings carry ``int64`` id arrays).
+
+Results are independent of the mode for every backend that shares a
+process: scalar, batched and columnar runs of the same seeded stream are
+bit-for-bit identical (property-pinned since PR 1/PR 6); the mode only
+chooses the speed at which they happen.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Union
+
+from repro.exceptions import ConfigurationError
+
+#: Default chunk length of the batched and columnar paths, shared by every
+#: entry point (was duplicated per-module before this API existed).
+DEFAULT_BATCH_SIZE = 1024
+
+#: The backends selectable through :class:`ExecutionMode`.
+KINDS = ("scalar", "batched", "columnar")
+
+#: Anything the ``mode=`` parameters accept.
+ModeLike = Union["ExecutionMode", str]
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionMode:
+    """How a stream is pushed through the routing layer.
+
+    Attributes
+    ----------
+    kind:
+        ``"scalar"`` (per-message ``route()`` loop), ``"batched"``
+        (``route_batch`` over key lists) or ``"columnar"``
+        (``route_batch_columnar`` over interned key-id arrays).
+    batch_size:
+        Chunk length of the batched/columnar paths.  Always 1 for scalar
+        mode (the constructor normalises it).
+    """
+
+    kind: str
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"execution mode kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.kind == "scalar" and self.batch_size != 1:
+            raise ConfigurationError(
+                "scalar mode routes one message at a time; "
+                f"batch_size {self.batch_size} is meaningless "
+                "(use ExecutionMode.scalar())"
+            )
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def scalar(cls) -> "ExecutionMode":
+        """Per-message routing (``batch_size`` fixed at 1)."""
+        return cls("scalar", 1)
+
+    @classmethod
+    def batched(cls, batch_size: int = DEFAULT_BATCH_SIZE) -> "ExecutionMode":
+        """Chunked ``route_batch`` routing over key lists."""
+        return cls("batched", batch_size)
+
+    @classmethod
+    def columnar(cls, batch_size: int = DEFAULT_BATCH_SIZE) -> "ExecutionMode":
+        """Chunked ``route_batch_columnar`` routing over interned id arrays."""
+        return cls("columnar", batch_size)
+
+    @classmethod
+    def parse(cls, spec: str) -> "ExecutionMode":
+        """Parse a CLI-style spec: ``"scalar"``, ``"batched"``,
+        ``"columnar"``, optionally with a chunk length — ``"batched:4096"``.
+        """
+        if not isinstance(spec, str):
+            raise ConfigurationError(
+                f"mode spec must be a string, got {type(spec).__name__}"
+            )
+        kind, _, size = spec.partition(":")
+        kind = kind.strip().lower()
+        if kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown execution mode {spec!r}; expected one of {KINDS} "
+                "(optionally 'batched:N' / 'columnar:N')"
+            )
+        if not size:
+            return cls.scalar() if kind == "scalar" else cls(kind)
+        try:
+            batch_size = int(size)
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid batch size in mode spec {spec!r}"
+            ) from None
+        if kind == "scalar":
+            raise ConfigurationError(
+                f"scalar mode takes no batch size (got {spec!r})"
+            )
+        return cls(kind, batch_size)
+
+    @classmethod
+    def coerce(cls, value: ModeLike) -> "ExecutionMode":
+        """Normalise a ``mode=`` argument (instance or spec string)."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise ConfigurationError(
+            f"mode must be an ExecutionMode or a spec string, "
+            f"got {type(value).__name__}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    @property
+    def is_scalar(self) -> bool:
+        return self.kind == "scalar"
+
+    @property
+    def is_columnar(self) -> bool:
+        return self.kind == "columnar"
+
+    @property
+    def spec(self) -> str:
+        """Round-trippable spec string (what :meth:`parse` accepts)."""
+        if self.kind == "scalar":
+            return "scalar"
+        return f"{self.kind}:{self.batch_size}"
+
+    @property
+    def legacy_kwargs(self) -> dict[str, object]:
+        """The pre-API ``batch_size`` / ``columnar`` equivalent.
+
+        Kept as the bridge into internals (``SimulationConfig`` storage,
+        ``TopologyRuntime``) that still carry the two historical fields —
+        the public entry points accept only ``mode=`` going forward.
+        """
+        return {"batch_size": self.batch_size, "columnar": self.is_columnar}
+
+
+def resolve_mode(
+    mode: ModeLike | None,
+    batch_size: int | None = None,
+    columnar: bool | None = None,
+    *,
+    default: ExecutionMode | None = None,
+    where: str = "this call",
+) -> ExecutionMode:
+    """Resolve ``mode=`` against the deprecated ``batch_size=``/``columnar=``.
+
+    The single deprecation funnel used by ``run_simulation``,
+    ``route_stream`` and ``run_topology``:
+
+    * ``mode`` given, legacy kwargs absent — coerce and return it;
+    * legacy kwargs given, ``mode`` absent — warn once per call site with a
+      :class:`DeprecationWarning` and build the equivalent mode (the results
+      are byte-identical, pinned by tests);
+    * both given — :class:`ConfigurationError` (ambiguous);
+    * neither — ``default`` (the entry point's historical default,
+      ``batched(1024)``).
+    """
+    legacy = batch_size is not None or columnar is not None
+    if mode is not None:
+        if legacy:
+            raise ConfigurationError(
+                f"{where}: pass either mode= or the legacy batch_size=/"
+                "columnar= keywords, not both"
+            )
+        return ExecutionMode.coerce(mode)
+    if not legacy:
+        return default if default is not None else ExecutionMode.batched()
+    warnings.warn(
+        f"{where}: batch_size=/columnar= are deprecated; pass "
+        "mode=ExecutionMode.batched(n) / .columnar(n) / .scalar() instead "
+        "(results are byte-identical)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+    if columnar:
+        return ExecutionMode.columnar(size)
+    if size == 1:
+        return ExecutionMode.scalar()
+    return ExecutionMode.batched(size)

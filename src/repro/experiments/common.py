@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.execution import ExecutionMode, ModeLike, resolve_mode
 from repro.partitioning.base import Partitioner
 from repro.types import Key, WorkerId
 
@@ -97,47 +98,77 @@ def jsonable(value: Any) -> Any:
     return str(value)
 
 
+def execution_mode_of(config: Any) -> ExecutionMode:
+    """The :class:`ExecutionMode` an experiment config asks for.
+
+    The single place where experiment configs map onto the execution API:
+    a ``mode`` attribute (spec string or instance) wins when set, otherwise
+    the config's historical ``batch_size`` field (present on every
+    simulation-backed config, and excluded from suite-store fingerprints)
+    selects the batched path.  Replaces the per-driver flag plumbing every
+    experiment module used to carry.
+    """
+    mode = getattr(config, "mode", None)
+    if mode is not None:
+        return ExecutionMode.coerce(mode)
+    batch_size = getattr(config, "batch_size", None)
+    if batch_size is None:
+        return ExecutionMode.batched()
+    if batch_size == 1:
+        return ExecutionMode.scalar()
+    return ExecutionMode.batched(batch_size)
+
+
 def route_stream(
     partitioner: Partitioner,
     keys: Iterable[Key],
-    batch_size: int = 1024,
-    columnar: bool = False,
+    batch_size: int | None = None,
+    columnar: bool | None = None,
+    mode: ModeLike | None = None,
 ) -> list[WorkerId]:
-    """Route an entire stream through one partitioner, batched.
+    """Route an entire stream through one partitioner.
 
-    The single-partitioner analogue of the simulation engine's batched run:
+    The single-partitioner analogue of the simulation engine's run:
     drivers, benchmarks and ad-hoc studies that only need the worker
     sequence of one source should use this instead of a per-message
-    ``route`` loop.  Results are identical to sequential routing for every
-    ``batch_size``; a workload's ``iter_batches`` is used when available so
-    array-backed streams never materialise per-key.
+    ``route`` loop.  ``mode`` selects the backend
+    (:class:`~repro.execution.ExecutionMode`, default ``batched(1024)``);
+    results are identical for every mode.  In batched mode a workload's
+    ``iter_batches`` is used when available so array-backed streams never
+    materialise per-key; columnar mode consumes interned key-id arrays
+    (``iter_batches_columnar`` natively when the workload provides it) and
+    routes through ``route_batch_columnar`` — string keys are hashed once,
+    at interning, and the worker sequence is still byte-identical.
 
-    With ``columnar=True`` the stream is consumed as interned key-id arrays
-    (``iter_batches_columnar`` when the workload provides it, the generic
-    chunker otherwise) and routed through ``route_batch_columnar`` — string
-    keys are hashed once, at interning, and the worker sequence is still
-    byte-identical.
+    The legacy ``batch_size=`` / ``columnar=`` keywords remain as
+    deprecated aliases emitting a :class:`DeprecationWarning`.
     """
-    if batch_size < 2:
-        return [partitioner.route(key) for key in keys]
-    out: list[WorkerId] = []
-    if columnar:
+    resolved = resolve_mode(
+        mode, batch_size, columnar,
+        default=ExecutionMode.batched(), where="route_stream",
+    )
+    chunk_size = resolved.batch_size
+    if resolved.is_columnar:
+        out: list[WorkerId] = []
         if hasattr(keys, "iter_batches_columnar"):
-            batches = keys.iter_batches_columnar(batch_size)
+            batches = keys.iter_batches_columnar(chunk_size)
         else:
             from repro.workloads.columnar import iter_batches_columnar
 
-            batches = iter_batches_columnar(keys, batch_size)
+            batches = iter_batches_columnar(keys, chunk_size)
         for batch in batches:
             out.extend(partitioner.route_batch_columnar(batch))
         return out
+    if chunk_size < 2:
+        return [partitioner.route(key) for key in keys]
+    out = []
     if hasattr(keys, "iter_batches"):
-        for chunk in keys.iter_batches(batch_size):
+        for chunk in keys.iter_batches(chunk_size):
             out.extend(partitioner.route_batch(chunk))
         return out
     iterator = iter(keys)
     while True:
-        chunk = list(islice(iterator, batch_size))
+        chunk = list(islice(iterator, chunk_size))
         if not chunk:
             return out
         out.extend(partitioner.route_batch(chunk))

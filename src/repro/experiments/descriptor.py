@@ -26,10 +26,12 @@ from repro.experiments.common import ExperimentResult, jsonable, print_result
 #: ``quick`` runs in seconds on a laptop, ``paper`` uses the paper's numbers.
 SCALES = ("tiny", "quick", "paper")
 
-#: Config fields that do not affect experiment *results* (the batched
-#: routing fast path is bit-identical to scalar routing for every value), so
-#: the suite's content-addressed store excludes them from cache keys.
-NON_SEMANTIC_FIELDS = frozenset({"batch_size"})
+#: Config fields that do not affect experiment *results* (every execution
+#: mode — scalar, batched, columnar — is bit-identical for every batch
+#: size), so the suite's content-addressed store excludes them from cache
+#: keys.  ``mode`` joining the set keeps pre-ExecutionMode fingerprints
+#: valid: cached records never invalidate over a pure performance knob.
+NON_SEMANTIC_FIELDS = frozenset({"batch_size", "mode"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,21 +140,41 @@ class ExperimentDescriptor:
             for name, value in dataclasses.asdict(config).items()
         }
 
-    def configure(self, scale: str = "quick", batch_size: int | None = None) -> Any:
-        """Build the ``scale`` preset, optionally overriding the batch size.
+    def configure(
+        self,
+        scale: str = "quick",
+        batch_size: int | None = None,
+        mode: Any = None,
+    ) -> Any:
+        """Build the ``scale`` preset, optionally overriding the execution.
 
-        ``batch_size`` applies only when the config has one (the
-        simulation-backed experiments); results are identical for every
-        value, only the throughput changes.
+        ``mode`` (an :class:`~repro.execution.ExecutionMode` or spec string)
+        and the older ``batch_size`` apply only when the config carries the
+        matching field (the simulation-backed experiments); results are
+        identical for every value, only the throughput changes.  Passing
+        both is ambiguous and rejected.
         """
         config = self.config(scale)
-        if batch_size is not None and hasattr(config, "batch_size"):
+        if mode is not None and batch_size is not None:
+            raise ConfigurationError(
+                "configure(): pass either mode= or batch_size=, not both"
+            )
+        if mode is not None and hasattr(config, "mode"):
+            from repro.execution import ExecutionMode
+
+            config.mode = ExecutionMode.coerce(mode)
+        elif batch_size is not None and hasattr(config, "batch_size"):
             config.batch_size = batch_size
         return config
 
-    def run_at(self, scale: str = "quick", batch_size: int | None = None) -> ExperimentResult:
+    def run_at(
+        self,
+        scale: str = "quick",
+        batch_size: int | None = None,
+        mode: Any = None,
+    ) -> ExperimentResult:
         """Run the experiment at a preset scale (see :meth:`configure`)."""
-        return self.run(self.configure(scale, batch_size))
+        return self.run(self.configure(scale, batch_size, mode=mode))
 
     def cli_main(self, argv: Sequence[str] | None = None) -> None:
         """Shared ``python -m repro.experiments.figXX`` entry point."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.synthetic import WikipediaLikeWorkload
@@ -35,6 +35,7 @@ class Fig01Config:
     num_sources: int = 5
     seed: int = 0
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "Fig01Config":
@@ -84,7 +85,7 @@ def run(config: Fig01Config | None = None) -> ExperimentResult:
                 num_workers=num_workers,
                 num_sources=config.num_sources,
                 seed=config.seed,
-                batch_size=config.batch_size,
+                mode=execution_mode_of(config),
             )
             result.rows.append(
                 {

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
@@ -45,6 +45,7 @@ class Fig07Config:
     seed: int = 0
     thresholds: Sequence[str] = tuple(THRESHOLDS)
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "Fig07Config":
@@ -99,7 +100,7 @@ def run(config: Fig07Config | None = None) -> ExperimentResult:
                         num_sources=config.num_sources,
                         seed=config.seed,
                         scheme_options={"theta": theta},
-                        batch_size=config.batch_size,
+                        mode=execution_mode_of(config),
                     )
                     result.rows.append(
                         {

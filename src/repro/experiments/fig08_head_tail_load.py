@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
@@ -33,6 +33,7 @@ class Fig08Config:
     num_sources: int = 5
     seed: int = 0
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "Fig08Config":
@@ -81,7 +82,7 @@ def run(config: Fig08Config | None = None) -> ExperimentResult:
             seed=config.seed,
             scheme_options=options,
             track_head_tail=True,
-            batch_size=config.batch_size,
+            mode=execution_mode_of(config),
         )
         total = max(1, simulation.num_messages)
         head_loads = simulation.head_loads or [0] * config.num_workers

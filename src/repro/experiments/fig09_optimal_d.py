@@ -17,7 +17,7 @@ from repro.analysis.bounds import theta_range
 from repro.analysis.choices import find_optimal_choices
 from repro.analysis.head import head_cardinality
 from repro.analysis.zipf import ZipfDistribution
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
@@ -46,6 +46,7 @@ class Fig09Config:
     #: tractable; 1 reproduces the exhaustive search of the paper.
     d_stride: int = 1
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "Fig09Config":
@@ -86,7 +87,7 @@ def _imbalance_for_scheme(config: Fig09Config, num_workers: int, skew: float,
         num_sources=config.num_sources,
         seed=config.seed,
         scheme_options=options,
-        batch_size=config.batch_size,
+        mode=execution_mode_of(config),
     )
     return simulation.final_imbalance
 

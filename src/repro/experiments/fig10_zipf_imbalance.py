@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
@@ -34,6 +34,7 @@ class Fig10Config:
     seed: int = 0
     schemes: Sequence[str] = SCHEMES
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "Fig10Config":
@@ -86,7 +87,7 @@ def run(config: Fig10Config | None = None) -> ExperimentResult:
                         num_workers=num_workers,
                         num_sources=config.num_sources,
                         seed=config.seed,
-                        batch_size=config.batch_size,
+                        mode=execution_mode_of(config),
                     )
                     result.rows.append(
                         {

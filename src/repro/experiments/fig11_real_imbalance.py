@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.base import Workload
@@ -37,6 +37,7 @@ class Fig11Config:
     seed: int = 0
     datasets: Sequence[str] = ("WP", "TW", "CT")
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "Fig11Config":
@@ -97,7 +98,7 @@ def run(config: Fig11Config | None = None) -> ExperimentResult:
                     num_workers=num_workers,
                     num_sources=config.num_sources,
                     seed=config.seed,
-                    batch_size=config.batch_size,
+                    mode=execution_mode_of(config),
                 )
                 result.rows.append(
                     {

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.experiments.fig11_real_imbalance import Fig11Config
 from repro.simulation.runner import run_simulation
@@ -34,6 +34,7 @@ class Fig12Config:
     #: Number of snapshots ("hours") taken along the stream.
     num_snapshots: int = 40
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "Fig12Config":
@@ -87,7 +88,7 @@ def run(config: Fig12Config | None = None) -> ExperimentResult:
                     num_sources=config.num_sources,
                     seed=config.seed,
                     track_interval=interval,
-                    batch_size=config.batch_size,
+                    mode=execution_mode_of(config),
                 )
                 series = simulation.time_series
                 if series is None:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.elasticity.events import RescalePlan
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
@@ -48,6 +48,7 @@ class Fig15Config:
     #: Number of ``I(t)`` snapshots taken along the stream.
     num_snapshots: int = 50
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "Fig15Config":
@@ -110,7 +111,7 @@ def run(config: Fig15Config | None = None) -> ExperimentResult:
             num_sources=config.num_sources,
             seed=config.seed,
             track_interval=interval,
-            batch_size=config.batch_size,
+            mode=execution_mode_of(config),
             rescale_plan=plan,
         )
         series = simulation.time_series

@@ -21,7 +21,7 @@ from typing import Sequence
 
 from repro.elasticity.events import RescalePlan
 from repro.elasticity.policies import POLICY_NAMES
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.simulation.runner import run_simulation
 from repro.workloads.zipf_stream import ZipfWorkload
@@ -47,6 +47,7 @@ class Fig16Config:
     policies: Sequence[str] = POLICY_NAMES
     migration_window: int = 5_000
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "Fig16Config":
@@ -108,7 +109,7 @@ def run(config: Fig16Config | None = None) -> ExperimentResult:
                 num_workers=config.num_workers,
                 num_sources=config.num_sources,
                 seed=config.seed,
-                batch_size=config.batch_size,
+                mode=execution_mode_of(config),
                 rescale_plan=plan,
             )
             migration = simulation.migration

@@ -27,7 +27,8 @@ from typing import Sequence
 
 from repro.dataflow.graph import Topology
 from repro.dataflow.runtime import TopologyResult, run_topology
-from repro.experiments.common import ExperimentResult
+from repro.execution import ExecutionMode
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.operators.aggregations import CountAggregator
 from repro.operators.base import StatelessOperator
@@ -62,6 +63,7 @@ class Fig17Config:
     num_external_sources: int = 4
     seed: int = 0
     batch_size: int = 1024
+    mode: str | None = None
 
     @property
     def num_messages(self) -> int:
@@ -175,13 +177,19 @@ def run_scheme(
     if posts is None:
         posts = make_posts(config)
     topology = build_topology(config, scheme)
+    if batch_size is None:
+        mode = execution_mode_of(config)
+    elif batch_size == 1:
+        mode = ExecutionMode.scalar()
+    else:
+        mode = ExecutionMode.batched(batch_size)
     started = time.perf_counter()
     result = run_topology(
         topology,
         posts,
         seed=config.seed,
         num_external_sources=config.num_external_sources,
-        batch_size=config.batch_size if batch_size is None else batch_size,
+        mode=mode,
     )
     return result, time.perf_counter() - started
 

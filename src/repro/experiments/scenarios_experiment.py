@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, execution_mode_of
 from repro.experiments.descriptor import ExperimentDescriptor, OutputSpec
 from repro.scenarios.catalog import build_workload, check_result, get_scenario
 from repro.simulation.runner import run_simulation
@@ -61,6 +61,7 @@ class ScenariosConfig:
     num_workers: int = 16
     num_sources: int = 5
     batch_size: int = 1024
+    mode: str | None = None
 
     @classmethod
     def paper(cls) -> "ScenariosConfig":
@@ -101,7 +102,7 @@ def run(config: ScenariosConfig | None = None) -> ExperimentResult:
                 scheme=scheme,
                 num_workers=config.num_workers,
                 num_sources=config.num_sources,
-                batch_size=config.batch_size,
+                mode=execution_mode_of(config),
             )
             violations = check_result(spec, simulation, scheme=scheme)
             total_violations += len(violations)

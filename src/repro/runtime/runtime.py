@@ -1,0 +1,458 @@
+"""Coordinator of the multi-process cluster runtime.
+
+``run_cluster`` owns every resource of one run: the shared state block, one
+ring buffer per worker, the delta/result pipes, the source and worker
+processes (all spawned under the ``fork`` start method so shared-memory
+views and pipe ends are inherited, never pickled) and a monitor thread that
+snapshots the shared state and watches liveness.
+
+Failure handling is first-class: a worker that dies is detected by process
+liveness, a worker that wedges by heartbeat age; either aborts the run,
+salvages the results that healthy workers already reported and raises
+:class:`~repro.exceptions.WorkerCrashError` naming the dead worker.
+Graceful shutdown rides the same abort flag — every blocking ring
+operation polls it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+from repro.exceptions import (
+    ClusterRuntimeError,
+    ConfigurationError,
+    WorkerCrashError,
+)
+from repro.execution import ExecutionMode, ModeLike
+from repro.runtime.ring import SpscRing, ring_words
+from repro.runtime.source import source_main
+from repro.runtime.state import (
+    DEFAULT_HEAD_CAPACITY,
+    ClusterSnapshot,
+    SharedClusterState,
+    loads_imbalance,
+    state_words,
+)
+from repro.runtime.worker import WorkerResult, worker_main
+
+#: Sentinel worker id the monitor uses for the source process.
+SOURCE_ID = -1
+
+
+@dataclass(slots=True)
+class ClusterConfig:
+    """Parameters of one cluster run.
+
+    The workload defaults to a Zipf stream (``skew``/``num_keys``/
+    ``num_messages``); ``workload_factory`` overrides it with any workload
+    exposing ``iter_batches_columnar``.  ``mode`` must be columnar — the
+    rings carry interned ``int64`` id arrays, scalar objects never cross a
+    process boundary.
+
+    ``service_ns`` is the modelled per-message service time of a worker
+    (I/O-bound operator work; the worker *blocks*, it does not burn CPU).
+    ``worker_fault`` injects failures for tests:
+    ``(worker_id, "crash"|"hang", after_messages)``.
+    """
+
+    scheme: str = "PKG"
+    num_workers: int = 4
+    num_messages: int = 50_000
+    num_keys: int = 5_000
+    skew: float = 1.4
+    seed: int = 0
+    scheme_options: dict[str, Any] = field(default_factory=dict)
+    mode: ModeLike = "columnar:512"
+    workload_factory: Callable[[], Any] | None = None
+    service_ns: int = 10_000
+    ring_capacity_words: int = 1 << 14
+    head_capacity: int = DEFAULT_HEAD_CAPACITY
+    publish_every: int = 8
+    snapshot_interval_s: float = 0.02
+    heartbeat_timeout_s: float = 10.0
+    push_timeout_s: float = 60.0
+    startup_timeout_s: float = 30.0
+    worker_fault: tuple[int, str, int] | None = None
+
+    def __post_init__(self) -> None:
+        self.mode = ExecutionMode.coerce(self.mode)
+        if not self.mode.is_columnar:
+            raise ConfigurationError(
+                "the cluster runtime is columnar-only: rings carry int64 "
+                f"key-id arrays, got mode {self.mode.spec!r}"
+            )
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.mode.batch_size * 2 > self.ring_capacity_words:
+            raise ConfigurationError(
+                f"ring capacity {self.ring_capacity_words} words is too "
+                f"small for batch size {self.mode.batch_size}"
+            )
+
+    def build_workload(self):
+        if self.workload_factory is not None:
+            return self.workload_factory()
+        from repro.workloads.zipf_stream import ZipfWorkload
+
+        return ZipfWorkload(
+            exponent=self.skew,
+            num_keys=self.num_keys,
+            num_messages=self.num_messages,
+            seed=self.seed,
+        )
+
+
+@dataclass(slots=True)
+class ClusterResult:
+    """The outcome of one cluster run."""
+
+    scheme: str
+    num_workers: int
+    mode: str
+    messages_total: int
+    elapsed_s: float
+    agg_msgs_per_sec: float
+    worker_processed: list[int]
+    imbalance: float
+    source_loads: list[int]
+    head: dict
+    dict_entries: int
+    service_ns: int
+    worker_results: list[WorkerResult]
+    snapshots: list[ClusterSnapshot]
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dict for tables, benchmarks and the CLI."""
+        return {
+            "scheme": self.scheme,
+            "num_workers": self.num_workers,
+            "mode": self.mode,
+            "messages": self.messages_total,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "agg_msgs_per_sec": round(self.agg_msgs_per_sec, 1),
+            "imbalance": self.imbalance,
+            "min_worker_processed": min(self.worker_processed),
+            "max_worker_processed": max(self.worker_processed),
+            "dict_entries": self.dict_entries,
+        }
+
+
+class _Monitor(threading.Thread):
+    """Snapshots the shared state and watches process liveness."""
+
+    def __init__(self, state, processes, config, started_at) -> None:
+        super().__init__(name="cluster-monitor", daemon=True)
+        self._state = state
+        self._processes = processes  # {worker_id: Process}, SOURCE_ID = source
+        self._config = config
+        self._started_at = started_at
+        self._halt = threading.Event()
+        self._dead_since: dict[int, float] = {}
+        self.done: set[int] = set()  # ids whose result already arrived
+        self.snapshots: list[ClusterSnapshot] = []
+        self.failure: tuple[int, str] | None = None
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def _check_liveness(self) -> None:
+        state = self._state
+        for pid, process in self._processes.items():
+            if pid in self.done or self.failure is not None:
+                continue
+            if not process.is_alive():
+                # A worker that finished sends its result, then exits; give
+                # the coordinator a moment to drain the pipe before calling
+                # a clean exit a crash.
+                first_seen = self._dead_since.setdefault(pid, time.monotonic())
+                if time.monotonic() - first_seen < 1.0:
+                    continue
+                who = "source" if pid == SOURCE_ID else f"worker {pid}"
+                self.failure = (
+                    pid,
+                    f"{who} died (exit code {process.exitcode}) before "
+                    f"finishing its stream",
+                )
+                return
+            if pid == SOURCE_ID or not state.started():
+                continue
+            age = state.heartbeat_age_s(pid)
+            if age > self._config.heartbeat_timeout_s:
+                self.failure = (
+                    pid,
+                    f"worker {pid} stopped heartbeating "
+                    f"({age:.1f}s > {self._config.heartbeat_timeout_s}s timeout)",
+                )
+                return
+
+    def run(self) -> None:
+        interval = self._config.snapshot_interval_s
+        while not self._halt.wait(interval):
+            self.snapshots.append(
+                self._state.snapshot(time.perf_counter() - self._started_at)
+            )
+            self._check_liveness()
+            if self.failure is not None:
+                self._state.abort()
+                return
+
+
+def run_cluster(config: ClusterConfig) -> ClusterResult:
+    """Run one columnar stream through a real multi-process cluster.
+
+    Raises :class:`~repro.exceptions.WorkerCrashError` (with the salvaged
+    partial results attached) when a worker dies or hangs, and
+    :class:`~repro.exceptions.ClusterRuntimeError` on protocol or startup
+    failures.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ClusterRuntimeError(
+            "the cluster runtime requires the 'fork' start method "
+            "(POSIX-only): shared-memory views are inherited, not pickled"
+        )
+    ctx = multiprocessing.get_context("fork")
+    n = config.num_workers
+
+    state_shm = shared_memory.SharedMemory(
+        create=True, size=state_words(n, config.head_capacity) * 8
+    )
+    ring_shms = [
+        shared_memory.SharedMemory(
+            create=True, size=ring_words(config.ring_capacity_words) * 8
+        )
+        for _ in range(n)
+    ]
+    state = SharedClusterState(
+        state_shm.buf, n, config.head_capacity, create=True
+    )
+    rings = [
+        SpscRing(shm.buf, config.ring_capacity_words, create=True)
+        for shm in ring_shms
+    ]
+
+    delta_pipes = [ctx.Pipe(duplex=False) for _ in range(n)]
+    result_pipes = [ctx.Pipe(duplex=False) for _ in range(n)]
+    source_pipe = ctx.Pipe(duplex=False)
+
+    def fault_for(worker_id: int):
+        fault = config.worker_fault
+        if fault is not None and fault[0] == worker_id:
+            return (fault[1], fault[2])
+        return None
+
+    workers = [
+        ctx.Process(
+            target=worker_main,
+            name=f"cluster-worker-{worker_id}",
+            args=(
+                worker_id,
+                rings[worker_id],
+                state,
+                delta_pipes[worker_id][0],
+                result_pipes[worker_id][1],
+                config.service_ns,
+                fault_for(worker_id),
+            ),
+            daemon=True,
+        )
+        for worker_id in range(n)
+    ]
+    source = ctx.Process(
+        target=source_main,
+        name="cluster-source",
+        args=(
+            config,
+            rings,
+            state,
+            [send for _, send in delta_pipes],
+            source_pipe[1],
+        ),
+        daemon=True,
+    )
+
+    processes = {worker_id: process for worker_id, process in enumerate(workers)}
+    processes[SOURCE_ID] = source
+    monitor: _Monitor | None = None
+    try:
+        for process in workers:
+            process.start()
+        source.start()
+
+        # Startup barrier: every worker flags ready in shared state, the
+        # source over its pipe; only then does the clock start — process
+        # startup never pollutes the throughput measurement.
+        deadline = time.monotonic() + config.startup_timeout_s
+        source_ready = False
+        while not (state.all_ready() and source_ready):
+            if source_pipe[0].poll(0.005):
+                message = source_pipe[0].recv()
+                if message[0] == "ready":
+                    source_ready = True
+                elif message[0] == "error":
+                    raise ClusterRuntimeError(
+                        f"source failed during startup: {message[2]}"
+                    )
+            if any(not process.is_alive() for process in processes.values()):
+                raise ClusterRuntimeError("a process died during startup")
+            if time.monotonic() > deadline:
+                raise ClusterRuntimeError(
+                    f"cluster startup timed out after {config.startup_timeout_s}s"
+                )
+
+        started_at = time.perf_counter()
+        monitor = _Monitor(state, processes, config, started_at)
+        monitor.start()
+        state.release_start()
+
+        worker_results: dict[int, WorkerResult] = {}
+        source_result: dict[str, Any] | None = None
+        elapsed = 0.0
+        while len(worker_results) < n or source_result is None:
+            if monitor.failure is not None:
+                break
+            progressed = False
+            for worker_id, (recv, _) in enumerate(result_pipes):
+                if worker_id in worker_results or not recv.poll(0):
+                    continue
+                message = recv.recv()
+                if message[0] == "error":
+                    monitor.failure = (
+                        worker_id,
+                        f"worker {worker_id} failed: {message[2]}",
+                    )
+                    break
+                worker_results[worker_id] = message[1]
+                monitor.done.add(worker_id)
+                elapsed = time.perf_counter() - started_at
+                progressed = True
+            if source_result is None and source_pipe[0].poll(0):
+                message = source_pipe[0].recv()
+                if message[0] == "error":
+                    monitor.failure = (
+                        SOURCE_ID,
+                        f"source failed: {message[2]}",
+                    )
+                else:
+                    source_result = message[1]
+                    monitor.done.add(SOURCE_ID)
+                progressed = True
+            if not progressed:
+                time.sleep(0.002)
+
+        if monitor.failure is not None:
+            failed_id, reason = monitor.failure
+            state.abort()
+            partial = {
+                "worker_results": dict(worker_results),
+                "worker_processed": state.worker_processed(),
+                "messages_routed": state.messages_routed(),
+            }
+            raise WorkerCrashError(
+                failed_id,
+                f"cluster run failed: {reason}; salvaged results of "
+                f"{sorted(worker_results)} of {n} workers",
+                partial=partial,
+            )
+
+        monitor.stop()
+        monitor.join(timeout=5.0)
+        for process in processes.values():
+            process.join(timeout=10.0)
+
+        processed = [worker_results[w].processed for w in range(n)]
+        total = sum(processed)
+        elapsed = max(elapsed, 1e-9)
+        return ClusterResult(
+            scheme=config.scheme,
+            num_workers=n,
+            mode=config.mode.spec,
+            messages_total=total,
+            elapsed_s=elapsed,
+            agg_msgs_per_sec=total / elapsed,
+            worker_processed=processed,
+            imbalance=loads_imbalance(processed),
+            source_loads=list(source_result["loads"]),
+            head=dict(source_result["head"]),
+            dict_entries=int(source_result["dict_entries"]),
+            service_ns=config.service_ns,
+            worker_results=[worker_results[w] for w in range(n)],
+            snapshots=list(monitor.snapshots),
+        )
+    finally:
+        state.abort()  # idempotent; unblocks anything still waiting
+        if monitor is not None:
+            monitor.stop()
+            monitor.join(timeout=5.0)
+        for process in processes.values():
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        for recv, send in [*delta_pipes, *result_pipes, source_pipe]:
+            for end in (recv, send):
+                try:
+                    end.close()
+                except OSError:
+                    pass
+        # Every numpy view over the shared blocks must die before the
+        # mappings can close — including the ones captured inside the
+        # Process argument tuples and the monitor thread.
+        processes.clear()
+        workers.clear()
+        source = None
+        monitor = None
+        del rings
+        state = None
+        for shm in [state_shm, *ring_shms]:
+            try:
+                shm.close()
+                shm.unlink()
+            except (BufferError, FileNotFoundError, OSError):
+                pass
+
+
+def validate_against_simulation(
+    config: ClusterConfig,
+    result: ClusterResult | None = None,
+    tolerance: float = 0.2,
+) -> dict[str, Any]:
+    """Compare a real run's imbalance against the simulator's prediction.
+
+    The runtime has exactly one router, so a ``num_sources=1`` simulation
+    of the same workload, scheme and seed routes the identical stream —
+    per-worker counts should match exactly, and the check asserts the
+    relative imbalance difference stays within ``tolerance`` (headroom for
+    future multi-source runtimes, where the match is statistical).
+    """
+    from repro.simulation.runner import run_simulation
+
+    if result is None:
+        result = run_cluster(config)
+    simulated = run_simulation(
+        config.build_workload(),
+        scheme=config.scheme,
+        num_workers=config.num_workers,
+        num_sources=1,
+        seed=config.seed,
+        scheme_options=dict(config.scheme_options),
+        mode=config.mode,
+    )
+    real = result.imbalance
+    predicted = simulated.final_imbalance
+    scale = max(abs(predicted), 1e-9)
+    relative = abs(real - predicted) / scale if predicted else abs(real - predicted)
+    return {
+        "real_imbalance": real,
+        "simulated_imbalance": predicted,
+        "relative_difference": relative,
+        "within_tolerance": relative <= tolerance,
+        "loads_match": result.worker_processed == list(simulated.worker_loads),
+        "tolerance": tolerance,
+    }

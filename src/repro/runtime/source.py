@@ -1,0 +1,141 @@
+"""The source process: intern, route, scatter into the per-worker rings.
+
+The source is the only router in the cluster — the same single-sender
+setting as ``run_simulation(num_sources=1)``, which is what makes the
+real-vs-simulated validation exact: both route the identical columnar
+stream through the identical partitioner seed, so the per-worker message
+counts must agree bit for bit (``validate_against_simulation`` asserts a
+tolerance anyway, for the day the runtime grows multiple sources).
+
+Hot path per batch:
+
+1. pull one :class:`~repro.workloads.columnar.ColumnarBatch` from the
+   workload's native columnar iterator (interning happens here, once per
+   distinct key);
+2. ``route_batch_columnar`` — the partitioner's vectorised fast path, byte
+   identical to scalar routing;
+3. scatter the id array by destination worker (one boolean mask per
+   worker) and push each sub-array as one ring frame — no pickling;
+4. when the dictionary grew, send the new ``(id, key)`` entries down each
+   worker's delta pipe *before* the frame that needs them;
+5. every ``publish_every`` batches, publish the load vector and the
+   SpaceSaving head summary into the shared state block for the monitor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.partitioning.registry import create_partitioner
+from repro.runtime.state import SharedClusterState
+
+
+def _head_ids(partitioner) -> dict[int, int] | None:
+    """The sketch's current head as ``{key id: estimated count}``.
+
+    Only head/tail schemes carry a sketch; in columnar mode it tracks key
+    ids natively, which is exactly the namespace the shared summary stores.
+    """
+    sketch = getattr(partitioner, "sketch", None)
+    theta = getattr(partitioner, "theta", None)
+    if sketch is None or theta is None:
+        return None
+    return {int(kid): int(count) for kid, count in sketch.heavy_hitters(theta).items()}
+
+
+def source_main(
+    config,
+    rings,
+    state: SharedClusterState,
+    delta_conns,
+    result_conn,
+) -> None:
+    """Entry point of the source process (run under the fork context)."""
+    try:
+        partitioner = create_partitioner(
+            config.scheme,
+            num_workers=config.num_workers,
+            seed=config.seed,
+            **dict(config.scheme_options),
+        )
+        workload = config.build_workload()
+        batches = workload.iter_batches_columnar(config.mode.batch_size)
+
+        result_conn.send(("ready",))
+        while not state.started():
+            if state.aborted():
+                return
+            time.sleep(0.0005)
+
+        dictionary = None
+        sent_entries = [0] * config.num_workers
+        batch_count = 0
+        worker_range = range(config.num_workers)
+        for batch in batches:
+            dictionary = batch.dictionary
+            workers = np.asarray(
+                partitioner.route_batch_columnar(batch), dtype=np.int64
+            )
+            high_water = len(dictionary)
+            for worker_id in worker_range:
+                ids = batch.ids[workers == worker_id]
+                if not ids.size:
+                    continue
+                if sent_entries[worker_id] < high_water:
+                    start = sent_entries[worker_id]
+                    keys = [dictionary.key_of(kid) for kid in range(start, high_water)]
+                    delta_conns[worker_id].send(("delta", start, keys))
+                    sent_entries[worker_id] = high_water
+                rings[worker_id].push(
+                    ids,
+                    base_index=batch.base_index,
+                    dict_high_water=sent_entries[worker_id],
+                    should_abort=state.aborted,
+                    timeout=config.push_timeout_s,
+                )
+            batch_count += 1
+            if batch_count % config.publish_every == 0:
+                state.publish_routing(
+                    partitioner.local_loads,
+                    partitioner.messages_routed,
+                    high_water,
+                    head=_head_ids(partitioner),
+                )
+        for ring in rings:
+            ring.close(should_abort=state.aborted, timeout=config.push_timeout_s)
+        head = _head_ids(partitioner)
+        state.publish_routing(
+            partitioner.local_loads,
+            partitioner.messages_routed,
+            len(dictionary) if dictionary is not None else 0,
+            head=head,
+        )
+        state.mark_source_done()
+        decoded_head = (
+            {dictionary.key_of(kid): count for kid, count in head.items()}
+            if head and dictionary is not None
+            else {}
+        )
+        result_conn.send(
+            (
+                "result",
+                {
+                    "loads": partitioner.local_loads,
+                    "messages_routed": partitioner.messages_routed,
+                    "head": decoded_head,
+                    "dict_entries": len(dictionary) if dictionary is not None else 0,
+                },
+            )
+        )
+    except Exception as error:
+        try:
+            result_conn.send(("error", -1, repr(error)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            result_conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,184 @@
+"""The worker process: pop frames, decode ids, apply service time.
+
+A worker owns the consumer side of one :class:`~repro.runtime.ring.SpscRing`
+and a *replica* of the source's :class:`~repro.workloads.columnar.
+KeyDictionary`, kept in sync by deltas the source sends over a per-worker
+pipe **before** any frame that needs them.  The hot path never unpickles:
+frames are raw ``int64`` arrays, and a frame's ``dict_high_water`` header
+states how many dictionary entries the worker must have replicated before
+decoding — the worker drains its delta pipe until it catches up (the pipe
+is also drained opportunistically while idle, so a source blocked on a full
+delta pipe cannot deadlock against a worker blocked on an empty ring).
+
+Per-message *service time* models the downstream operator's real work
+(state-store writes, network calls): the worker sleeps
+``service_ns * len(frame)`` per frame.  Sleeping blocks the worker, not the
+CPU — which is exactly what makes multi-worker scaling observable on the
+single-core containers this runtime is benchmarked on (see
+``docs/runtime.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.ring import SpscRing
+from repro.runtime.state import SharedClusterState
+
+#: How many of a worker's hottest keys are reported back (decoded through
+#: the dictionary replica — the e2e proof that delta sync works).
+TOP_KEYS = 5
+
+
+@dataclass(slots=True)
+class WorkerResult:
+    """What one worker reports after draining its ring."""
+
+    worker_id: int
+    processed: int
+    frames: int
+    dict_entries: int
+    top_keys: list = field(default_factory=list)
+
+
+class DictionaryReplica:
+    """The worker-side ``id -> key`` mapping, grown by source deltas."""
+
+    __slots__ = ("_keys",)
+
+    def __init__(self) -> None:
+        self._keys: list = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def key_of(self, kid: int):
+        return self._keys[kid]
+
+    def apply(self, start_id: int, keys: list) -> None:
+        """Apply one delta (idempotent for overlapping resends)."""
+        have = len(self._keys)
+        if start_id > have:
+            from repro.exceptions import ClusterRuntimeError
+
+            raise ClusterRuntimeError(
+                f"dictionary delta gap: replica has {have} entries, "
+                f"delta starts at {start_id}"
+            )
+        self._keys.extend(keys[have - start_id :])
+
+
+def _drain_deltas(conn, replica: DictionaryReplica) -> None:
+    """Apply every delta currently buffered in the pipe (non-blocking)."""
+    while conn.poll(0):
+        kind, start_id, keys = conn.recv()
+        if kind == "delta":
+            replica.apply(start_id, keys)
+
+
+def _await_dictionary(conn, replica: DictionaryReplica, high_water: int, state) -> None:
+    """Block until the replica covers ``high_water`` entries."""
+    while len(replica) < high_water:
+        if state.aborted():
+            from repro.exceptions import ClusterRuntimeError
+
+            raise ClusterRuntimeError("aborted while awaiting dictionary delta")
+        if conn.poll(0.05):
+            kind, start_id, keys = conn.recv()
+            if kind == "delta":
+                replica.apply(start_id, keys)
+
+
+def worker_main(
+    worker_id: int,
+    ring: SpscRing,
+    state: SharedClusterState,
+    delta_conn,
+    result_conn,
+    service_ns: int = 0,
+    fault=None,
+) -> None:
+    """Entry point of one worker process (run under the fork context).
+
+    ``fault`` injects failures for the crash-detection tests:
+    ``("crash", after_messages)`` hard-exits the process,
+    ``("hang", after_messages)`` stops heartbeating and frame-popping
+    forever.  ``None`` in production.
+    """
+    replica = DictionaryReplica()
+    counts = np.zeros(1024, dtype=np.int64)
+    processed = 0
+    frames = 0
+    fault_kind, fault_after = fault if fault is not None else (None, -1)
+
+    state.mark_ready(worker_id)
+    state.heartbeat(worker_id)
+    while not state.started():
+        if state.aborted():
+            return
+        time.sleep(0.0005)
+
+    def idle() -> None:
+        state.heartbeat(worker_id)
+        _drain_deltas(delta_conn, replica)
+
+    try:
+        while True:
+            frame = ring.pop(should_abort=state.aborted, idle=idle)
+            if frame.is_eof:
+                break
+            if frame.dict_high_water > len(replica):
+                _drain_deltas(delta_conn, replica)
+                _await_dictionary(delta_conn, replica, frame.dict_high_water, state)
+            ids = frame.ids
+            high = int(ids.max()) + 1 if ids.size else 0
+            if high > counts.size:
+                counts = np.concatenate(
+                    [counts, np.zeros(max(high, 2 * counts.size) - counts.size, dtype=np.int64)]
+                )
+            np.add.at(counts, ids, 1)
+            processed += int(ids.size)
+            frames += 1
+            if service_ns:
+                time.sleep(service_ns * ids.size / 1e9)
+            state.add_processed(worker_id, int(ids.size))
+            state.heartbeat(worker_id)
+            if fault_kind is not None and processed >= fault_after:
+                if fault_kind == "crash":
+                    os._exit(17)
+                if fault_kind == "hang":
+                    while not state.aborted():
+                        time.sleep(0.01)
+                    return
+        top_ids = np.argsort(counts)[::-1][:TOP_KEYS]
+        top_keys = [
+            (replica.key_of(int(kid)), int(counts[kid]))
+            for kid in top_ids
+            if counts[kid] > 0 and int(kid) < len(replica)
+        ]
+        result_conn.send(
+            (
+                "result",
+                WorkerResult(
+                    worker_id=worker_id,
+                    processed=processed,
+                    frames=frames,
+                    dict_entries=len(replica),
+                    top_keys=top_keys,
+                ),
+            )
+        )
+    except Exception as error:  # surfaced by the coordinator, not lost
+        try:
+            result_conn.send(("error", worker_id, repr(error)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            result_conn.close()
+        except OSError:
+            pass

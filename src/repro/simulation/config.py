@@ -7,6 +7,7 @@ from typing import Any
 
 from repro.elasticity.events import RescalePlan, as_plan
 from repro.exceptions import ConfigurationError
+from repro.execution import ExecutionMode
 
 #: Default number of sources used throughout the paper's simulations.
 DEFAULT_NUM_SOURCES = 5
@@ -57,6 +58,14 @@ class SimulationConfig:
         paths; worker-side key state and migration accounting operate in id
         space (a bijection over the keys actually seen).  Workloads without
         a native columnar iterator are wrapped transparently.
+    mode:
+        Optional :class:`~repro.execution.ExecutionMode` (or spec string
+        like ``"columnar:4096"``).  When given it is authoritative:
+        ``batch_size`` and ``columnar`` are overwritten from it, so callers
+        choose the execution backend in one place.  When omitted, the two
+        historical fields stand and ``mode`` is derived from them, so
+        ``config.mode`` is always the normalised view of how the run will
+        execute.  Results are byte-identical across all modes.
     rescale_plan:
         Optional elasticity schedule: a
         :class:`~repro.elasticity.events.RescalePlan` or a spec string like
@@ -80,6 +89,7 @@ class SimulationConfig:
     track_head_tail: bool = False
     batch_size: int = 1024
     columnar: bool = False
+    mode: ExecutionMode | str | None = None
     rescale_plan: RescalePlan | str | None = None
     rescale_policy: str = "rehash"
     migration_window: int = 1000
@@ -101,6 +111,16 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
+        if self.mode is not None:
+            self.mode = ExecutionMode.coerce(self.mode)
+            self.batch_size = self.mode.batch_size
+            self.columnar = self.mode.is_columnar
+        elif self.columnar:
+            self.mode = ExecutionMode.columnar(self.batch_size)
+        elif self.batch_size == 1:
+            self.mode = ExecutionMode.scalar()
+        else:
+            self.mode = ExecutionMode.batched(self.batch_size)
         self.rescale_plan = as_plan(
             self.rescale_plan,
             policy=self.rescale_policy,

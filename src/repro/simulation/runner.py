@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from repro.execution import ExecutionMode, ModeLike, resolve_mode
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.results import SimulationResult
@@ -20,8 +21,9 @@ def run_simulation(
     scheme_options: dict[str, Any] | None = None,
     track_interval: int = 0,
     track_head_tail: bool = False,
-    batch_size: int = 1024,
-    columnar: bool = False,
+    batch_size: int | None = None,
+    columnar: bool | None = None,
+    mode: ModeLike | None = None,
     rescale_plan: Any = None,
     rescale_policy: str = "rehash",
     migration_window: int = 1000,
@@ -30,17 +32,20 @@ def run_simulation(
 
     This is the main entry point of the library for simulation studies::
 
-        from repro import ZipfWorkload, run_simulation
+        from repro import ExecutionMode, ZipfWorkload, run_simulation
 
         workload = ZipfWorkload(exponent=1.5, num_keys=10_000, num_messages=1_000_000)
-        result = run_simulation(workload, scheme="D-C", num_workers=50)
+        result = run_simulation(workload, scheme="D-C", num_workers=50,
+                                mode=ExecutionMode.columnar(4096))
         print(result.final_imbalance)
 
-    ``batch_size`` controls the routing fast path (see
-    :class:`~repro.simulation.config.SimulationConfig`); results are
-    independent of its value — 1 forces scalar routing.  ``columnar=True``
-    additionally routes interned key-id arrays end to end (string keys are
-    hashed once, at the source); results are byte-identical either way.
+    ``mode`` selects the execution backend — ``ExecutionMode.scalar()``,
+    ``.batched(n)`` or ``.columnar(n)``, or a spec string like
+    ``"columnar:4096"``; the default is the historical ``batched(1024)``.
+    Results are byte-identical for every mode, only throughput changes.
+    The legacy ``batch_size=`` / ``columnar=`` keywords still work as
+    deprecated aliases (a :class:`DeprecationWarning` is emitted) and mean
+    exactly what they always did.
 
     ``rescale_plan`` (a :class:`~repro.elasticity.events.RescalePlan` or a
     spec string like ``"join@5000,fail@15000"``) makes workers join, leave
@@ -48,6 +53,13 @@ def run_simulation(
     how spec-string plans are executed.  The returned result then carries a
     :class:`~repro.elasticity.accountant.MigrationReport` in ``.migration``.
     """
+    resolved = resolve_mode(
+        mode,
+        batch_size,
+        columnar,
+        default=ExecutionMode.batched(),
+        where="run_simulation",
+    )
     config = SimulationConfig(
         scheme=scheme,
         num_workers=num_workers,
@@ -56,8 +68,7 @@ def run_simulation(
         scheme_options=scheme_options or {},
         track_interval=track_interval,
         track_head_tail=track_head_tail,
-        batch_size=batch_size,
-        columnar=columnar,
+        mode=resolved,
         rescale_plan=rescale_plan,
         rescale_policy=rescale_policy,
         migration_window=migration_window,

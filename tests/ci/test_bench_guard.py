@@ -98,6 +98,77 @@ class TestCompare:
         ]) == 1
 
 
+CLUSTER_BENCH = {
+    "PKG@w1": {"agg_msgs_per_sec": 40_000, "scaling_vs_1w": 1.0},
+    "PKG@w4": {"agg_msgs_per_sec": 95_000, "scaling_vs_1w": 2.4},
+    "_meta": {"cpu_count": 1},
+}
+
+
+class TestCheckFloor:
+    def test_value_at_or_above_floor_passes(self, guard):
+        assert guard.check_floor(
+            CLUSTER_BENCH, 1.5, metric="scaling_vs_1w", schemes=["PKG@w4"]
+        ) == []
+        assert guard.check_floor(
+            CLUSTER_BENCH, 2.4, metric="scaling_vs_1w", schemes=["PKG@w4"]
+        ) == []
+
+    def test_value_below_floor_fails(self, guard):
+        failures = guard.check_floor(
+            CLUSTER_BENCH, 3.0, metric="scaling_vs_1w", schemes=["PKG@w4"]
+        )
+        assert len(failures) == 1 and "PKG@w4" in failures[0]
+
+    def test_missing_entry_or_metric_fails_hard(self, guard):
+        # A floor guard never skips: watching a missing cell is a failure.
+        assert guard.check_floor(CLUSTER_BENCH, 1.0, schemes=["KG@w4"])
+        assert guard.check_floor(
+            CLUSTER_BENCH, 1.0, metric="imbalance", schemes=["PKG@w4"]
+        )
+
+    def test_default_schemes_cover_every_entry_but_meta(self, guard):
+        failures = guard.check_floor(CLUSTER_BENCH, 1.0, metric="scaling_vs_1w")
+        assert failures == []  # _meta skipped, both worker cells pass
+
+    def test_empty_file_fails(self, guard):
+        assert guard.check_floor({"_meta": {}}, 1.0)
+
+    def test_main_floor_mode_exit_codes(self, guard, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(CLUSTER_BENCH))
+        assert guard.main([
+            "--bench-file", str(bench), "--metric", "scaling_vs_1w",
+            "--schemes", "PKG@w4", "--min-value", "1.5",
+        ]) == 0
+        assert guard.main([
+            "--bench-file", str(bench), "--metric", "scaling_vs_1w",
+            "--schemes", "PKG@w4", "--min-value", "3.0",
+        ]) == 1
+
+    def test_main_rejects_mixed_or_incomplete_modes(self, guard, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(CLUSTER_BENCH))
+        with pytest.raises(SystemExit):
+            guard.main(["--bench-file", str(bench)])  # no --min-value
+        with pytest.raises(SystemExit):
+            guard.main([
+                "--bench-file", str(bench), "--min-value", "1.0",
+                "--current", str(bench),
+            ])
+        with pytest.raises(SystemExit):
+            guard.main(["--current", str(bench), "--min-value", "1.0"])
+
+    def test_committed_cluster_bench_passes_the_ci_floor(self, guard):
+        bench = json.loads(
+            (REPO_ROOT / "BENCH_cluster.json").read_text(encoding="utf-8")
+        )
+        # The committed curve must clear the same floor CI enforces.
+        assert guard.check_floor(
+            bench, 1.5, metric="scaling_vs_1w", schemes=["PKG@w4"]
+        ) == []
+
+
 class TestMain:
     def test_exit_codes(self, guard, tmp_path, capsys):
         baseline_path = tmp_path / "baseline.json"

@@ -50,9 +50,13 @@ class TestCiWorkflow:
         assert "push" in triggers and "pull_request" in triggers
 
     def test_has_lint_tests_and_suite_smoke_jobs(self, ci):
-        assert {"lint", "tests", "suite-smoke", "scenario-regression"} <= set(
-            ci["jobs"]
-        )
+        assert {
+            "lint",
+            "tests",
+            "suite-smoke",
+            "scenario-regression",
+            "cluster-smoke",
+        } <= set(ci["jobs"])
 
     def test_lint_runs_ruff_over_all_source_trees(self, ci):
         commands = _job_commands(ci["jobs"]["lint"])
@@ -89,6 +93,23 @@ class TestCiWorkflow:
         commands = _job_commands(ci["jobs"]["scenario-regression"])
         assert "pytest -q tests/scenarios" in commands
         assert "run scenarios --scale tiny" in commands
+
+    def test_cluster_smoke_runs_the_marked_e2e_tests(self, ci):
+        # The cluster tests spawn real processes and are opt-in via the
+        # `cluster` marker; the smoke job is where they must run.
+        commands = _job_commands(ci["jobs"]["cluster-smoke"])
+        assert "pytest -q -m cluster tests/runtime" in commands
+
+    def test_cluster_smoke_guards_the_scaling_floor(self, ci):
+        # The reduced bench must feed the single-file floor guard: 4-worker
+        # PKG aggregate throughput >= 1.5x the 1-worker run.  The ratio is
+        # measured on one runner, so the floor is hardware-independent.
+        commands = _job_commands(ci["jobs"]["cluster-smoke"])
+        assert "bench_cluster_runtime.py --quick" in commands
+        assert "--bench-file bench-cluster-ci.json" in commands
+        assert "--metric scaling_vs_1w" in commands
+        assert "--schemes PKG@w4" in commands
+        assert "--min-value 1.5" in commands
 
     def test_pr_job_smokes_the_columnar_bench(self, ci):
         # A PR that knocks the columnar path off its id-array fast path
@@ -148,11 +169,14 @@ class TestReferencedPathsExist:
         [
             "benchmarks/run_routing_bench.py",
             "benchmarks/bench_dataflow.py",
+            "benchmarks/bench_cluster_runtime.py",
             "benchmarks/check_bench_regression.py",
             "BENCH_routing.json",
+            "BENCH_cluster.json",
             "pyproject.toml",
             "docs/ci.md",
             "tests/scenarios",
+            "tests/runtime",
         ],
     )
     def test_path_exists(self, path):

@@ -1,0 +1,271 @@
+"""Tests of the unified ExecutionMode API and its deprecation funnel.
+
+Pins the three contracts of the redesign:
+
+1. every entry point (``run_simulation``, ``route_stream``,
+   ``run_topology``) accepts ``mode=`` and the legacy ``batch_size=`` /
+   ``columnar=`` aliases keep working, warning, and returning
+   byte-identical results;
+2. passing both is rejected;
+3. adding ``mode`` to experiment configs did **not** invalidate the suite
+   store's content-addressed cache (fingerprints pinned as literals from
+   before the redesign).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import ExecutionMode
+from repro.exceptions import ConfigurationError
+from repro.execution import DEFAULT_BATCH_SIZE, resolve_mode
+from repro.experiments.common import execution_mode_of, route_stream
+from repro.partitioning.registry import create_partitioner
+from repro.simulation.runner import run_simulation
+from repro.workloads.zipf_stream import ZipfWorkload
+
+
+def workload() -> ZipfWorkload:
+    return ZipfWorkload(exponent=1.4, num_keys=800, num_messages=6_000, seed=5)
+
+
+class TestExecutionModeValue:
+    def test_factories(self):
+        assert ExecutionMode.scalar() == ExecutionMode("scalar", 1)
+        assert ExecutionMode.batched(64) == ExecutionMode("batched", 64)
+        assert ExecutionMode.columnar(64) == ExecutionMode("columnar", 64)
+        assert ExecutionMode.batched().batch_size == DEFAULT_BATCH_SIZE
+
+    def test_parse_specs(self):
+        assert ExecutionMode.parse("scalar") == ExecutionMode.scalar()
+        assert ExecutionMode.parse("batched") == ExecutionMode.batched()
+        assert ExecutionMode.parse("batched:4096") == ExecutionMode.batched(4096)
+        assert ExecutionMode.parse("columnar:128") == ExecutionMode.columnar(128)
+
+    def test_spec_roundtrip(self):
+        for mode in (
+            ExecutionMode.scalar(),
+            ExecutionMode.batched(512),
+            ExecutionMode.columnar(4096),
+        ):
+            assert ExecutionMode.parse(mode.spec) == mode
+
+    def test_coerce_accepts_instances_and_strings(self):
+        mode = ExecutionMode.columnar(32)
+        assert ExecutionMode.coerce(mode) is mode
+        assert ExecutionMode.coerce("columnar:32") == mode
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionMode.parse("vectorised")
+        with pytest.raises(ConfigurationError):
+            ExecutionMode.parse("batched:0")
+        with pytest.raises(ConfigurationError):
+            ExecutionMode("scalar", 8)  # scalar implies batch_size 1
+        with pytest.raises(ConfigurationError):
+            ExecutionMode.coerce(123)
+
+    def test_properties(self):
+        assert ExecutionMode.scalar().is_scalar
+        assert not ExecutionMode.scalar().is_columnar
+        assert ExecutionMode.columnar().is_columnar
+        assert ExecutionMode.batched(64).spec == "batched:64"
+
+
+class TestResolveMode:
+    def test_mode_wins_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            resolved = resolve_mode("columnar:64", None, None)
+        assert resolved == ExecutionMode.columnar(64)
+
+    def test_default_when_nothing_given(self):
+        default = ExecutionMode.batched(99)
+        assert resolve_mode(None, None, None, default=default) == default
+
+    def test_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning):
+            assert resolve_mode(None, 64, None) == ExecutionMode.batched(64)
+        with pytest.warns(DeprecationWarning):
+            assert resolve_mode(None, 1, None) == ExecutionMode.scalar()
+        with pytest.warns(DeprecationWarning):
+            assert resolve_mode(None, 64, True) == ExecutionMode.columnar(64)
+        with pytest.warns(DeprecationWarning):
+            assert resolve_mode(None, None, True) == ExecutionMode.columnar(
+                DEFAULT_BATCH_SIZE
+            )
+
+    def test_mode_plus_legacy_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            resolve_mode("scalar", 64, None)
+
+
+class TestEntryPointEquivalence:
+    def test_run_simulation_alias_is_byte_identical(self):
+        baseline = run_simulation(
+            workload(), scheme="PKG", num_workers=8,
+            mode=ExecutionMode.columnar(128),
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = run_simulation(
+                workload(), scheme="PKG", num_workers=8,
+                batch_size=128, columnar=True,
+            )
+        assert legacy.worker_loads == baseline.worker_loads
+        assert legacy.final_imbalance == baseline.final_imbalance
+
+    def test_run_simulation_rejects_mode_plus_alias(self):
+        with pytest.raises(ConfigurationError, match="run_simulation"):
+            run_simulation(
+                workload(), scheme="PKG", num_workers=8,
+                mode="scalar", batch_size=64,
+            )
+
+    def test_route_stream_alias_is_byte_identical(self):
+        routed_mode = route_stream(
+            create_partitioner("D-C", num_workers=8, seed=3),
+            workload(),
+            mode="columnar:64",
+        )
+        with pytest.warns(DeprecationWarning):
+            routed_legacy = route_stream(
+                create_partitioner("D-C", num_workers=8, seed=3),
+                workload(),
+                batch_size=64,
+                columnar=True,
+            )
+        assert routed_mode == routed_legacy
+
+    def test_route_stream_scalar_mode_matches_scalar_loop(self):
+        keys = list(workload())
+        partitioner = create_partitioner("PKG", num_workers=8, seed=3)
+        expected = [partitioner.route(key) for key in keys]
+        routed = route_stream(
+            create_partitioner("PKG", num_workers=8, seed=3),
+            keys,
+            mode=ExecutionMode.scalar(),
+        )
+        assert routed == expected
+
+    def test_run_topology_accepts_mode_and_alias(self):
+        from repro.dataflow.runtime import run_topology
+        from repro.experiments.fig17_topology_throughput import (
+            Fig17Config,
+            build_topology,
+            make_posts,
+        )
+
+        config = Fig17Config.tiny()
+        posts = make_posts(config)
+        baseline = run_topology(
+            build_topology(config, "PKG"), posts, seed=0,
+            num_external_sources=config.num_external_sources,
+            mode=ExecutionMode.batched(256),
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = run_topology(
+                build_topology(config, "PKG"), posts, seed=0,
+                num_external_sources=config.num_external_sources,
+                batch_size=256,
+            )
+        base_metrics = baseline.vertex_metrics("aggregate")
+        legacy_metrics = legacy.vertex_metrics("aggregate")
+        assert legacy_metrics.instance_loads == base_metrics.instance_loads
+
+
+class TestConfigAdoption:
+    def test_execution_mode_of_prefers_mode_field(self):
+        class Config:
+            batch_size = 64
+            mode = "columnar:32"
+
+        assert execution_mode_of(Config()) == ExecutionMode.columnar(32)
+
+    def test_execution_mode_of_falls_back_to_batch_size(self):
+        class Config:
+            batch_size = 64
+
+        assert execution_mode_of(Config()) == ExecutionMode.batched(64)
+
+        class Scalar:
+            batch_size = 1
+
+        assert execution_mode_of(Scalar()) == ExecutionMode.scalar()
+
+    def test_execution_mode_of_defaults_to_batched(self):
+        class Bare:
+            pass
+
+        assert execution_mode_of(Bare()) == ExecutionMode.batched()
+
+    def test_simulation_config_resolves_mode(self):
+        from repro.simulation.config import SimulationConfig
+
+        config = SimulationConfig(
+            scheme="PKG", num_workers=4, mode="columnar:64"
+        )
+        assert config.mode == ExecutionMode.columnar(64)
+        assert config.columnar is True
+        assert config.batch_size == 64
+
+    def test_descriptor_configure_rejects_mode_plus_batch_size(self):
+        from repro.experiments.registry import get_experiment
+
+        descriptor = get_experiment("fig1").descriptor
+        with pytest.raises(ConfigurationError, match="not both"):
+            descriptor.configure("tiny", batch_size=64, mode="scalar")
+
+
+class TestFingerprintStability:
+    """Adding ``mode`` to configs must not invalidate cached records.
+
+    The literals were computed on the commit *before* the ExecutionMode
+    redesign; if one of these assertions fails, every user's results store
+    silently becomes a cache miss.
+    """
+
+    PINNED = {
+        ("scenarios", "tiny"): (
+            "a1c0b75d94b82e2f2333e297cdf666f064d887efa61199a14f887f02924710b0"
+        ),
+        ("scenarios", "quick"): (
+            "cd9efe34f7e82ab3946685f03514c13f398ea94a46635f3962a572e89fb5e75b"
+        ),
+        ("fig1", "tiny"): (
+            "8a482dd32b0c424b69a6db07686a17cf3417f904866676a91f2580a603d04933"
+        ),
+        ("fig1", "quick"): (
+            "83e3e474bd89217b8e040e56920c72bfb2625ef62b7b273858522ab2b0b09503"
+        ),
+    }
+
+    @pytest.mark.parametrize(
+        "experiment_id,scale",
+        sorted(PINNED),
+        ids=lambda value: str(value),
+    )
+    def test_fingerprints_unchanged_since_before_mode_field(
+        self, experiment_id, scale
+    ):
+        from repro.experiments.registry import get_experiment
+        from repro.suite.store import config_fingerprint
+
+        descriptor = get_experiment(experiment_id).descriptor
+        config = descriptor.config_dict(descriptor.config(scale))
+        fingerprint = config_fingerprint(experiment_id, scale, config)
+        assert fingerprint == self.PINNED[(experiment_id, scale)]
+
+    def test_mode_override_does_not_change_the_fingerprint(self):
+        from repro.experiments.registry import get_experiment
+        from repro.suite.store import config_fingerprint
+
+        descriptor = get_experiment("fig1").descriptor
+        plain = descriptor.config_dict(descriptor.configure("tiny"))
+        overridden = descriptor.config_dict(
+            descriptor.configure("tiny", mode="columnar:4096")
+        )
+        assert config_fingerprint("fig1", "tiny", plain) == config_fingerprint(
+            "fig1", "tiny", overridden
+        )

@@ -1,0 +1,97 @@
+"""Unit tests of the dictionary delta-sync protocol — no processes.
+
+Both pipe ends live in this process, so the producer/consumer handshake is
+driven deterministically: deltas arrive before the frames that need them,
+overlapping resends are idempotent and gaps fail loudly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.exceptions import ClusterRuntimeError
+from repro.runtime.worker import (
+    DictionaryReplica,
+    _await_dictionary,
+    _drain_deltas,
+)
+
+
+class FakeState:
+    def __init__(self, aborted: bool = False) -> None:
+        self._aborted = aborted
+
+    def aborted(self) -> bool:
+        return self._aborted
+
+
+@pytest.fixture
+def pipe():
+    receive, send = multiprocessing.Pipe(duplex=False)
+    yield receive, send
+    receive.close()
+    send.close()
+
+
+class TestReplica:
+    def test_apply_extends_in_order(self):
+        replica = DictionaryReplica()
+        replica.apply(0, ["a", "b"])
+        replica.apply(2, ["c"])
+        assert len(replica) == 3
+        assert [replica.key_of(kid) for kid in range(3)] == ["a", "b", "c"]
+
+    def test_overlapping_resend_is_idempotent(self):
+        replica = DictionaryReplica()
+        replica.apply(0, ["a", "b", "c"])
+        replica.apply(1, ["b", "c", "d"])
+        assert len(replica) == 4
+        assert replica.key_of(3) == "d"
+
+    def test_gap_raises(self):
+        replica = DictionaryReplica()
+        replica.apply(0, ["a"])
+        with pytest.raises(ClusterRuntimeError, match="delta gap"):
+            replica.apply(5, ["f"])
+
+
+class TestDrain:
+    def test_drain_applies_every_buffered_delta(self, pipe):
+        receive, send = pipe
+        send.send(("delta", 0, ["a", "b"]))
+        send.send(("delta", 2, ["c"]))
+        replica = DictionaryReplica()
+        _drain_deltas(receive, replica)
+        assert len(replica) == 3
+
+    def test_drain_on_empty_pipe_is_a_noop(self, pipe):
+        receive, _ = pipe
+        replica = DictionaryReplica()
+        _drain_deltas(receive, replica)
+        assert len(replica) == 0
+
+
+class TestAwait:
+    def test_blocks_until_high_water_reached(self, pipe):
+        receive, send = pipe
+        replica = DictionaryReplica()
+        send.send(("delta", 0, ["a", "b", "c"]))
+        _await_dictionary(receive, replica, high_water=3, state=FakeState())
+        assert len(replica) == 3
+
+    def test_returns_immediately_when_already_caught_up(self, pipe):
+        receive, _ = pipe
+        replica = DictionaryReplica()
+        replica.apply(0, ["a"])
+        _await_dictionary(receive, replica, high_water=1, state=FakeState())
+        assert len(replica) == 1
+
+    def test_abort_unblocks_the_wait(self, pipe):
+        receive, _ = pipe
+        replica = DictionaryReplica()
+        with pytest.raises(ClusterRuntimeError, match="aborted"):
+            _await_dictionary(
+                receive, replica, high_water=5, state=FakeState(aborted=True)
+            )

@@ -1,0 +1,212 @@
+"""Unit tests of the SPSC ring protocol — no processes are spawned.
+
+The ring works over any int64 buffer, so these tests drive producer and
+consumer sides in-process over a plain numpy array: wrap-around, PAD
+frames, full-buffer backpressure, sequence-gap detection and EOF handling
+are all exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ClusterRuntimeError
+from repro.runtime.ring import (
+    CONTROL_WORDS,
+    DATA,
+    EOF,
+    FRAME_HEADER_WORDS,
+    RingClosed,
+    SpscRing,
+    ring_words,
+)
+
+
+def make_ring(capacity_words: int = 64) -> tuple[SpscRing, SpscRing, np.ndarray]:
+    """A producer view and a consumer view over one shared array."""
+    buffer = np.zeros(ring_words(capacity_words), dtype=np.int64)
+    producer = SpscRing(buffer, capacity_words, create=True)
+    consumer = SpscRing(buffer)  # attaches, reads capacity from control
+    return producer, consumer, buffer
+
+
+class TestPushPop:
+    def test_roundtrip_preserves_ids_and_header(self):
+        producer, consumer, _ = make_ring()
+        ids = np.array([5, 3, 5, 9], dtype=np.int64)
+        assert producer.try_push(ids, base_index=17, dict_high_water=10)
+        frame = consumer.try_pop()
+        assert frame is not None
+        assert frame.seq == 0
+        assert frame.kind == DATA
+        assert frame.base_index == 17
+        assert frame.dict_high_water == 10
+        assert frame.ids.tolist() == [5, 3, 5, 9]
+
+    def test_pop_on_empty_ring_returns_none(self):
+        _, consumer, _ = make_ring()
+        assert consumer.try_pop() is None
+
+    def test_popped_ids_are_copies(self):
+        producer, consumer, _ = make_ring()
+        producer.try_push(np.array([1, 2, 3], dtype=np.int64))
+        frame = consumer.try_pop()
+        # Recycle the region with a different frame; the copy must survive.
+        producer.try_push(np.array([7, 7, 7], dtype=np.int64))
+        assert frame.ids.tolist() == [1, 2, 3]
+
+    def test_sequence_numbers_increment_per_frame(self):
+        producer, consumer, _ = make_ring()
+        for _ in range(3):
+            producer.try_push(np.array([1], dtype=np.int64))
+        assert [consumer.try_pop().seq for _ in range(3)] == [0, 1, 2]
+
+
+class TestWrapAround:
+    def test_many_frames_wrap_the_region(self):
+        producer, consumer, _ = make_ring(capacity_words=32)
+        # Frames of 7 words (5 header + 2 ids) in a 32-word region force a
+        # wrap roughly every fourth frame.
+        for round_number in range(50):
+            ids = np.array([round_number, round_number + 1], dtype=np.int64)
+            assert producer.try_push(ids, base_index=round_number)
+            frame = consumer.try_pop()
+            assert frame.seq == round_number
+            assert frame.base_index == round_number
+            assert frame.ids.tolist() == [round_number, round_number + 1]
+
+    def test_wrap_with_varying_frame_sizes(self):
+        producer, consumer, _ = make_ring(capacity_words=48)
+        sizes = [1, 9, 3, 17, 2, 11, 5, 1, 13, 7] * 5
+        for seq, size in enumerate(sizes):
+            ids = np.full(size, seq, dtype=np.int64)
+            assert producer.try_push(ids)
+            frame = consumer.try_pop()
+            assert frame.seq == seq
+            assert frame.ids.tolist() == [seq] * size
+
+    def test_interleaved_batches_survive_wraps(self):
+        producer, consumer, _ = make_ring(capacity_words=40)
+        pushed = 0
+        popped = 0
+        while popped < 200:
+            while pushed - popped < 2 and producer.try_push(
+                np.array([pushed], dtype=np.int64)
+            ):
+                pushed += 1
+            frame = consumer.try_pop()
+            if frame is not None:
+                assert frame.ids.tolist() == [popped]
+                popped += 1
+
+
+class TestBackpressure:
+    def test_try_push_returns_false_when_full(self):
+        producer, consumer, _ = make_ring(capacity_words=32)
+        pushed = 0
+        while producer.try_push(np.array([pushed], dtype=np.int64)):
+            pushed += 1
+        assert pushed >= 2  # 6-word frames in a 32-word region
+        # Draining one frame frees space for exactly one more.
+        assert consumer.try_pop() is not None
+        assert producer.try_push(np.array([pushed], dtype=np.int64))
+        assert not producer.try_push(np.array([99], dtype=np.int64))
+
+    def test_blocking_push_times_out_when_consumer_stalls(self):
+        producer, _, _ = make_ring(capacity_words=32)
+        while producer.try_push(np.array([1], dtype=np.int64)):
+            pass
+        with pytest.raises(ClusterRuntimeError, match="timed out"):
+            producer.push(np.array([2], dtype=np.int64), timeout=0.05)
+
+    def test_blocking_push_aborts_on_request(self):
+        producer, _, _ = make_ring(capacity_words=32)
+        while producer.try_push(np.array([1], dtype=np.int64)):
+            pass
+        with pytest.raises(ClusterRuntimeError, match="aborted"):
+            producer.push(np.array([2], dtype=np.int64), should_abort=lambda: True)
+
+    def test_oversized_frame_raises_instead_of_deadlocking(self):
+        producer, _, _ = make_ring(capacity_words=32)
+        too_big = np.zeros(producer.max_frame_ids() + 1, dtype=np.int64)
+        with pytest.raises(ClusterRuntimeError, match="cannot fit"):
+            producer.try_push(too_big)
+
+    def test_free_and_pending_words_account_for_frames(self):
+        producer, consumer, _ = make_ring(capacity_words=64)
+        assert producer.free_words() == 64
+        producer.try_push(np.array([1, 2], dtype=np.int64))
+        assert producer.free_words() == 64 - (FRAME_HEADER_WORDS + 2)
+        assert consumer.pending_words() == FRAME_HEADER_WORDS + 2
+        consumer.try_pop()
+        assert producer.free_words() == 64
+        assert consumer.pending_words() == 0
+
+
+class TestSequenceGapDetection:
+    def test_tampered_seq_raises(self):
+        producer, consumer, buffer = make_ring()
+        producer.try_push(np.array([1], dtype=np.int64))
+        buffer[CONTROL_WORDS] = 41  # overwrite the frame's seq word
+        with pytest.raises(ClusterRuntimeError, match="sequence gap"):
+            consumer.try_pop()
+
+    def test_skipped_frame_raises(self):
+        producer, consumer, _ = make_ring()
+        producer.try_push(np.array([1], dtype=np.int64))
+        producer.try_push(np.array([2], dtype=np.int64))
+        consumer.try_pop()
+        consumer._next_pop_seq += 1  # consumer believes it is further along
+        with pytest.raises(ClusterRuntimeError, match="sequence gap"):
+            consumer.try_pop()
+
+    def test_corrupt_length_raises(self):
+        producer, consumer, buffer = make_ring()
+        producer.try_push(np.array([1], dtype=np.int64))
+        buffer[CONTROL_WORDS + 2] = 10_000
+        with pytest.raises(ClusterRuntimeError, match="corrupt frame"):
+            consumer.try_pop()
+
+
+class TestEof:
+    def test_close_delivers_eof_frame(self):
+        producer, consumer, _ = make_ring()
+        producer.try_push(np.array([1], dtype=np.int64))
+        producer.close()
+        assert consumer.try_pop().kind == DATA
+        frame = consumer.try_pop()
+        assert frame.is_eof
+        assert frame.kind == EOF
+        assert frame.ids.size == 0
+
+    def test_push_after_close_raises(self):
+        producer, _, _ = make_ring()
+        producer.close()
+        with pytest.raises(RingClosed):
+            producer.try_push(np.array([1], dtype=np.int64))
+
+    def test_close_is_idempotent(self):
+        producer, consumer, _ = make_ring()
+        producer.close()
+        producer.close()
+        assert consumer.try_pop().is_eof
+        assert consumer.try_pop() is None
+
+
+class TestConstruction:
+    def test_create_requires_capacity(self):
+        with pytest.raises(ClusterRuntimeError):
+            SpscRing(np.zeros(64, dtype=np.int64), create=True)
+
+    def test_attach_to_uninitialised_buffer_raises(self):
+        with pytest.raises(ClusterRuntimeError):
+            SpscRing(np.zeros(64, dtype=np.int64))
+
+    def test_undersized_buffer_raises(self):
+        with pytest.raises(ClusterRuntimeError):
+            SpscRing(np.zeros(16, dtype=np.int64), 64, create=True)
+
+    def test_non_int64_array_raises(self):
+        with pytest.raises(ClusterRuntimeError):
+            SpscRing(np.zeros(64, dtype=np.float64), 32, create=True)
