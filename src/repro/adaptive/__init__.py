@@ -1,0 +1,27 @@
+"""Adaptive partitioning: online scheme/parameter switching under drift.
+
+The package threads three pieces together:
+
+* :class:`~repro.adaptive.policy.SwitchPolicy` — hysteresis thresholds (from
+  the paper's PKG bounds) deciding which rung of a scheme ladder the
+  observed skew needs;
+* :class:`~repro.adaptive.tuner.ParameterTuner` — online theta/d retuning
+  from the live SpaceSaving summary via the existing solver accessors;
+* :class:`~repro.adaptive.partitioner.AdaptivePartitioner` — the registered
+  ``AD`` scheme wrapping a delegate partitioner and hot-swapping it at
+  deterministic batch boundaries through the ``export_state`` /
+  ``adopt_state`` contract.
+"""
+
+from repro.adaptive.partitioner import AdaptivePartitioner, SwitchRecord
+from repro.adaptive.policy import DEFAULT_LADDER, DriftMetrics, SwitchPolicy
+from repro.adaptive.tuner import ParameterTuner
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "AdaptivePartitioner",
+    "DriftMetrics",
+    "ParameterTuner",
+    "SwitchPolicy",
+    "SwitchRecord",
+]

@@ -1,0 +1,184 @@
+"""Hysteresis switching policy for the adaptive partitioner.
+
+The paper fixes the grouping scheme and its head threshold offline; under
+drifting traffic the right scheme changes mid-stream.  :class:`SwitchPolicy`
+decides, from the sender-local view of the stream — the hottest relative
+frequency ``p1`` and head cardinality out of the SpaceSaving monitor, plus
+the observed load imbalance — which rung of a scheme ladder the stream
+currently needs.  The thresholds come straight from the paper's analysis
+(Section III-A): PKG balances while ``p1 <= 2/n`` and never needs help below
+``1/(5n)``, so those two bounds are the enter/exit edges of the first rung.
+Hysteresis (distinct enter and exit thresholds, plus a minimum dwell between
+moves) keeps a stream that oscillates around a boundary from thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bounds import pkg_safe_threshold
+from repro.exceptions import ConfigurationError
+
+#: The default escalation ladder, least to most replication-hungry.  Every
+#: rung shares the two-choice tail (same hash family, same seed), so a
+#: switch only ever moves *head* keys — tail keys keep their candidate pair.
+DEFAULT_LADDER: tuple[str, ...] = ("PKG", "D-C", "W-C")
+
+
+@dataclass(frozen=True, slots=True)
+class DriftMetrics:
+    """One checkpoint's sender-local view of the stream.
+
+    Attributes
+    ----------
+    p1:
+        Estimated relative frequency of the hottest key (monitor sketch).
+    head_cardinality:
+        Number of keys at or above the monitor's head threshold.
+    imbalance:
+        Relative load imbalance of this source's local load vector,
+        ``(max - mean) / mean``.
+    num_workers:
+        Current downstream worker count ``n``.
+    messages:
+        Messages this source has routed so far.
+    """
+
+    p1: float
+    head_cardinality: int
+    imbalance: float
+    num_workers: int
+    messages: int
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchPolicy:
+    """Hysteresis thresholds deciding which ladder rung a stream needs.
+
+    Parameters
+    ----------
+    ladder:
+        Scheme names ordered by escalation.  ``decide`` only ever returns a
+        member of the ladder.
+    enter_skew:
+        Escalate off the first rung when ``p1`` exceeds ``enter_skew * 2/n``
+        — the paper's PKG breakdown bound, scaled.  1.0 means "exactly when
+        PKG's imbalance bound stops holding".
+    exit_skew:
+        De-escalate back to the first rung when ``p1`` falls below
+        ``exit_skew * 1/(5n)`` — below the paper's PKG-safe threshold the
+        head machinery buys nothing.  Values above 1.0 make the exit edge
+        *laxer* (still head-aware at frequencies PKG could handle), which is
+        the conservative direction.
+    enter_wide:
+        Absolute ``p1`` above which the top rung (full placement freedom)
+        is engaged.
+    exit_wide:
+        Absolute ``p1`` below which the top rung is left again; must be
+        below ``enter_wide`` for the hysteresis band to exist.
+    enter_imbalance:
+        Escalate off the first rung regardless of ``p1`` when the observed
+        relative imbalance exceeds this — the load vector notices skew the
+        sketch attributes to no single key (many near-head keys).
+    min_dwell:
+        Minimum number of routed messages between two moves of the same
+        source.  Caps the switch (and therefore migration) rate.
+    """
+
+    ladder: tuple[str, ...] = DEFAULT_LADDER
+    enter_skew: float = 1.0
+    exit_skew: float = 1.0
+    enter_wide: float = 0.5
+    exit_wide: float = 0.25
+    enter_imbalance: float = 0.2
+    min_dwell: int = 4000
+
+    def __post_init__(self) -> None:
+        if len(self.ladder) < 2:
+            raise ConfigurationError(
+                f"switch ladder needs at least 2 rungs, got {self.ladder!r}"
+            )
+        if self.exit_wide >= self.enter_wide:
+            raise ConfigurationError(
+                "exit_wide must be below enter_wide "
+                f"(got {self.exit_wide} >= {self.enter_wide})"
+            )
+        if self.min_dwell < 1:
+            raise ConfigurationError(
+                f"min_dwell must be >= 1, got {self.min_dwell}"
+            )
+
+    def decide(self, metrics: DriftMetrics, current: str) -> str:
+        """The ladder rung the stream needs right now.
+
+        Returns ``current`` (possibly normalised onto the ladder) when the
+        metrics sit inside the hysteresis band — never ``None``.
+        """
+        ladder = self.ladder
+        try:
+            rung = ladder.index(current)
+        except ValueError:
+            rung = 0
+        n = metrics.num_workers
+        p1 = metrics.p1
+        breakdown = self.enter_skew * 2.0 / n
+        safe = self.exit_skew * pkg_safe_threshold(n)
+        if rung == 0:
+            if p1 > breakdown or metrics.imbalance > self.enter_imbalance:
+                rung = 1
+        elif p1 < safe and metrics.imbalance <= self.enter_imbalance:
+            rung = 0
+        if len(ladder) > 2:
+            if rung >= 1 and p1 > self.enter_wide:
+                rung = len(ladder) - 1
+            elif rung == len(ladder) - 1 and p1 < self.exit_wide and rung > 1:
+                rung = 1
+        return ladder[rung]
+
+    @classmethod
+    def parse(cls, spec: str) -> "SwitchPolicy":
+        """Build a policy from a compact CLI spec.
+
+        Comma-separated ``knob=value`` pairs; the ladder uses ``>`` between
+        scheme names.  Example::
+
+            ladder=PKG>D-C,enter_skew=1.5,dwell=8000
+
+        Unknown knobs raise, listing the valid ones.
+        """
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"bad adaptive-policy entry {part!r}; expected knob=value"
+                )
+            knob, _, value = part.partition("=")
+            knob = knob.strip().lower()
+            value = value.strip()
+            if knob == "ladder":
+                kwargs["ladder"] = tuple(
+                    name.strip().upper() for name in value.split(">") if name.strip()
+                )
+            elif knob in ("dwell", "min_dwell"):
+                kwargs["min_dwell"] = int(value)
+            elif knob in (
+                "enter_skew",
+                "exit_skew",
+                "enter_wide",
+                "exit_wide",
+                "enter_imbalance",
+            ):
+                kwargs[knob] = float(value)
+            else:
+                raise ConfigurationError(
+                    f"unknown adaptive-policy knob {knob!r}; valid knobs: "
+                    "ladder, enter_skew, exit_skew, enter_wide, exit_wide, "
+                    "enter_imbalance, dwell"
+                )
+        return cls(**kwargs)
+
+
+__all__ = ["DEFAULT_LADDER", "DriftMetrics", "SwitchPolicy"]

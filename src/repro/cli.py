@@ -127,7 +127,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default="D-C",
         help=(
             "grouping scheme name from the partitioner registry "
-            "(KG, SG, PKG, D-C, W-C, RR, GREEDY-D, FIXED-D, CH); default: D-C"
+            "(KG, SG, PKG, D-C, W-C, RR, GREEDY-D, FIXED-D, CH, AD); "
+            "default: D-C"
         ),
     )
     sim_parser.add_argument(
@@ -165,6 +166,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sim_parser.add_argument("--mode", default=None, help=_MODE_HELP)
+    sim_parser.add_argument(
+        "--adaptive-policy",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "switch-policy knobs for the adaptive scheme (--scheme AD), "
+            "e.g. 'ladder=PKG>D-C>W-C,enter_skew=1.5,dwell=8000'; "
+            "rejected for static schemes"
+        ),
+    )
     sim_parser.add_argument(
         "--rescale",
         metavar="SPEC",
@@ -238,6 +249,15 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--keys", type=int, default=5_000,
         help="key-space size |K| of the scenario (default: 5000)",
+    )
+    scenario_run.add_argument(
+        "--seed", type=int, default=None,
+        help=(
+            "override the scenario's cataloged base seed for an ad-hoc "
+            "rerun; component seeds are re-derived, and the expected "
+            "bounds are still checked (they are calibrated to hold "
+            "across seeds)"
+        ),
     )
     scenario_run.add_argument(
         "--batch-size", type=int, default=None,
@@ -463,6 +483,10 @@ def _scenario_main(args: argparse.Namespace) -> int:
         except ScenarioError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.seed is not None:
+            import dataclasses
+
+            spec = dataclasses.replace(spec, seed=args.seed)
         workload = build_workload(spec, num_messages=args.messages, num_keys=args.keys)
         mode = _mode_from_args(args.mode, args.batch_size)
         result = run_simulation(
@@ -473,7 +497,8 @@ def _scenario_main(args: argparse.Namespace) -> int:
             mode=mode or ExecutionMode.batched(),
         )
         print(f"scenario: {spec.name} ({spec.pattern}), scheme {args.scheme}, "
-              f"{args.workers} workers, {args.messages} messages")
+              f"{args.workers} workers, {args.messages} messages, "
+              f"seed {spec.seed}")
         print(f"imbalance: {result.final_imbalance:.6f}")
         print(f"replication: {result.replication_factor:.4f}")
         print(f"p99_load_factor: {result.p99_load_factor:.4f}")
@@ -615,12 +640,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
         )
         mode = _mode_from_args(args.mode, args.batch_size)
+        scheme_options = {}
+        if args.adaptive_policy is not None:
+            from repro.partitioning.registry import canonical_name
+
+            if canonical_name(args.scheme) != "AD":
+                print(
+                    "error: --adaptive-policy only applies to --scheme AD",
+                    file=sys.stderr,
+                )
+                return 2
+            scheme_options["policy"] = args.adaptive_policy
         result = run_simulation(
             workload,
             scheme=args.scheme,
             num_workers=args.workers,
             num_sources=args.sources,
             seed=args.seed,
+            scheme_options=scheme_options,
             mode=mode or ExecutionMode.batched(),
             rescale_plan=args.rescale,
             rescale_policy=args.rescale_policy,
@@ -628,6 +665,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         for name, value in result.summary().items():
             print(f"{name}: {value}")
+        for switch in result.switch_log:
+            kind = "retune" if switch["from_scheme"] == switch["to_scheme"] else "switch"
+            print(
+                f"{kind} source {switch['source']}@{switch['position']}: "
+                f"{switch['from_scheme']}->{switch['to_scheme']}, "
+                f"{switch['keys_moved']} keys moved, "
+                f"{switch['entries_migrated']} entries migrated"
+            )
         if result.migration is not None:
             for record in result.migration.events:
                 print(

@@ -83,6 +83,10 @@ class TopologyResult:
     #: The live operator instances, per vertex, so callers can reconcile
     #: stateful results after the run.
     instances: dict[str, list[Operator]] = field(default_factory=dict)
+    #: Scheme switches applied by adaptive (``AD``) edge partitioners during
+    #: the run — one dict per switch, annotated with the edge and the sender
+    #: instance, ordered by stream position.  Empty for static schemes.
+    switch_log: list[dict] = field(default_factory=list)
 
     def vertex_metrics(self, name: str) -> VertexMetrics:
         if name not in self.metrics:
@@ -116,6 +120,20 @@ class _EdgeRouter:
 
     def route_batch_columnar(self, sender: int, batch) -> list[int]:
         return self._partitioners[sender].route_batch_columnar(batch)
+
+    def switch_events(self) -> list[dict]:
+        """Scheme switches of this edge's partitioners (adaptive only)."""
+        rows: list[dict] = []
+        for sender, partitioner in enumerate(self._partitioners):
+            events = getattr(partitioner, "switch_events", None)
+            if not callable(events):
+                continue
+            for record in events():
+                row = record.to_dict()
+                row["edge"] = f"{self.edge.source}->{self.edge.target}"
+                row["sender"] = sender
+                rows.append(row)
+        return rows
 
 
 class TopologyRuntime:
@@ -604,10 +622,18 @@ class TopologyRuntime:
                     ))
 
     def _build_result(self) -> TopologyResult:
+        switch_log: list[dict] = []
+        for router in self._routers.values():
+            switch_log.extend(router.switch_events())
+        # Position first, then edge/sender: a deterministic stream order
+        # that is identical across the scalar, batched and columnar paths
+        # (per-sender positions are unique within an edge).
+        switch_log.sort(key=lambda row: (row["position"], row["edge"], row["sender"]))
         result = TopologyResult(
             topology_name=self._topology.name,
             messages_ingested=self._ingested,
             instances=self._instances,
+            switch_log=switch_log,
         )
         for name, instances in self._instances.items():
             loads = [instance.processed for instance in instances]

@@ -216,5 +216,35 @@ class MigrationCostAccountant:
             self._window_keys = frozenset()
             self._window_record = None
 
+    def record_switch(
+        self,
+        offset: int,
+        description: str,
+        num_workers: int,
+        keys_moved: int,
+        entries_migrated: int,
+        head_keys_preserved: int,
+    ) -> RescaleEventRecord:
+        """Append the record of one adaptive scheme switch (or retune).
+
+        A switch moves no workers — old and new counts are equal — but it
+        does move head keys between candidate sets, which is the same
+        migration currency a rescale event is measured in; recording both in
+        one report keeps the cost of adaptivity visible next to the cost of
+        elasticity.  ``description`` becomes the record's ``kind`` (e.g.
+        ``"switch:PKG->D-C"``).
+        """
+        record = RescaleEventRecord(
+            offset=offset,
+            kind=description,
+            old_num_workers=num_workers,
+            new_num_workers=num_workers,
+            keys_moved=keys_moved,
+            entries_migrated=entries_migrated,
+            head_keys_preserved=head_keys_preserved,
+        )
+        self._report.events.append(record)
+        return record
+
     def report(self) -> MigrationReport:
         return self._report

@@ -47,6 +47,10 @@ KINDS = ("scalar", "batched", "columnar")
 #: Anything the ``mode=`` parameters accept.
 ModeLike = Union["ExecutionMode", str]
 
+#: The spec grammar, quoted verbatim by every parse error so a CLI typo
+#: shows the user what would have worked.
+VALID_SPECS = "scalar | batched[:N] | columnar[:N] (e.g. 'columnar:4096')"
+
 
 @dataclass(frozen=True, slots=True)
 class ExecutionMode:
@@ -107,14 +111,20 @@ class ExecutionMode:
         """
         if not isinstance(spec, str):
             raise ConfigurationError(
-                f"mode spec must be a string, got {type(spec).__name__}"
+                f"mode spec must be a string, got {type(spec).__name__}; "
+                f"valid specs: {VALID_SPECS}"
             )
         kind, _, size = spec.partition(":")
         kind = kind.strip().lower()
+        if not kind:
+            raise ConfigurationError(
+                f"empty execution mode spec {spec!r}; "
+                f"valid specs: {VALID_SPECS}"
+            )
         if kind not in KINDS:
             raise ConfigurationError(
-                f"unknown execution mode {spec!r}; expected one of {KINDS} "
-                "(optionally 'batched:N' / 'columnar:N')"
+                f"unknown execution mode {kind!r} in spec {spec!r}; "
+                f"valid specs: {VALID_SPECS}"
             )
         if not size:
             return cls.scalar() if kind == "scalar" else cls(kind)
@@ -122,11 +132,13 @@ class ExecutionMode:
             batch_size = int(size)
         except ValueError:
             raise ConfigurationError(
-                f"invalid batch size in mode spec {spec!r}"
+                f"batch size in mode spec {spec!r} must be an integer, "
+                f"got {size!r}; valid specs: {VALID_SPECS}"
             ) from None
         if kind == "scalar":
             raise ConfigurationError(
-                f"scalar mode takes no batch size (got {spec!r})"
+                f"scalar mode takes no batch size (got {spec!r}); "
+                f"valid specs: {VALID_SPECS}"
             )
         return cls(kind, batch_size)
 

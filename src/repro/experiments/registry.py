@@ -29,6 +29,7 @@ from repro.experiments import (
     fig15_rescale_imbalance,
     fig16_migration_cost,
     fig17_topology_throughput,
+    fig18_adaptive,
     scenarios_experiment,
     table1_datasets,
 )
@@ -95,6 +96,7 @@ _MODULES = (
     fig15_rescale_imbalance,
     fig16_migration_cost,
     fig17_topology_throughput,
+    fig18_adaptive,
     scenarios_experiment,
     table1_datasets,
 )

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.types import Key, RoutingDecision, WorkerId
@@ -203,6 +203,73 @@ class Partitioner(abc.ABC):
 
         The base class holds no hashing state, so this is a no-op; schemes
         with hash families rebuild (or incrementally adjust) them here.
+        """
+
+    # ------------------------------------------------------------------ #
+    # transplantable routing state (adaptive scheme switching)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict[str, Any]:
+        """Snapshot of this partitioner's live, transplantable routing state.
+
+        The base payload is what every scheme maintains — the local load
+        vector and the message counter; schemes add their own entries via
+        :meth:`_export_structures` (the SpaceSaving head table, scheme
+        cursors, solver caches, head-candidate caches).  The dict is an
+        in-process handoff, not a serialisation format: live objects (a
+        columnar dictionary binding) may be carried by reference.
+
+        Exporting never mutates the donor, so a snapshot can be taken
+        speculatively and discarded.
+        """
+        state: dict[str, Any] = {
+            "scheme": self.name,
+            "num_workers": self._num_workers,
+            "seed": self._seed,
+            "loads": list(self._state.loads),
+            "messages_routed": self._state.messages_routed,
+        }
+        self._export_structures(state)
+        return state
+
+    def adopt_state(self, state: Mapping[str, Any]) -> None:
+        """Continue from another partitioner's :meth:`export_state` snapshot.
+
+        The adopter keeps its own construction parameters (seed, theta,
+        choice counts — those are the new scheme's identity) and takes over
+        the donor's *learned* state: the load vector, the message counter
+        and whatever scheme-specific entries it understands via
+        :meth:`_adopt_structures`.  Entries the adopting scheme has no use
+        for (a cursor it does not keep) are ignored, which is what makes any
+        scheme constructible from any other scheme's live state.
+
+        Adopting a snapshot exported from the *same* scheme with the same
+        construction parameters is byte-identical to never having exported:
+        every future routing decision matches the donor's (property-pinned
+        in ``tests/property/test_state_roundtrip.py``).
+        """
+        loads = list(state["loads"])
+        if len(loads) != self._num_workers:
+            raise ConfigurationError(
+                f"cannot adopt state for {len(loads)} workers into a "
+                f"{self._num_workers}-worker partitioner"
+            )
+        self._state = PartitionerState(
+            loads=loads, messages_routed=int(state["messages_routed"])
+        )
+        self._adopt_structures(state)
+
+    def _export_structures(self, state: dict[str, Any]) -> None:
+        """Add scheme-specific entries to an :meth:`export_state` snapshot.
+
+        The base class holds nothing beyond the load vector, so this is a
+        no-op hook.
+        """
+
+    def _adopt_structures(self, state: Mapping[str, Any]) -> None:
+        """Consume the scheme-specific entries this scheme understands.
+
+        Must tolerate missing entries — the donor may have been any scheme —
+        by keeping the adopter's own freshly constructed structures.
         """
 
     def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:

@@ -98,6 +98,30 @@ class ConsistentGrouping(Partitioner):
     def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
         return (self._ring.lookup(key),)
 
+    def _export_structures(self, state: dict) -> None:
+        # Arc positions are a pure function of (worker, replica, seed), so
+        # ring *membership* is the whole mutable state: an adopter with the
+        # same seed rebuilds identical arcs for the same member set.
+        state["ring_workers"] = [
+            worker for worker in range(self.num_workers) if worker in self._ring
+        ]
+
+    def _adopt_structures(self, state) -> None:
+        members = state.get("ring_workers")
+        if members is None:
+            return
+        target = set(members)
+        changed = False
+        for worker in range(self.num_workers):
+            if worker in target and worker not in self._ring:
+                self._ring.add_worker(worker)
+                changed = True
+            elif worker not in target and worker in self._ring:
+                self._ring.remove_worker(worker)
+                changed = True
+        if changed:
+            self._ring_epoch += 1
+
     # ------------------------------------------------------------------ #
     # elasticity hooks (not used by the paper's experiments, but the whole
     # point of consistent hashing)

@@ -380,6 +380,34 @@ class DChoices(HeadTailPartitioner):
         # defaulted theta); force a fresh solve at the next head message.
         self._never_solved = True
 
+    def _export_structures(self, state: dict) -> None:
+        super()._export_structures(state)
+        # ChoicesSolution is frozen, the signature a plain tuple: sharing
+        # them with the adopter is safe.
+        state["d_choices"] = {
+            "solution": self._solution,
+            "messages_at_last_solve": self._messages_at_last_solve,
+            "messages_at_last_check": self._messages_at_last_check,
+            "never_solved": self._never_solved,
+            "head_signature": self._head_signature,
+        }
+
+    def _adopt_structures(self, state) -> None:
+        super()._adopt_structures(state)
+        solver = state.get("d_choices")
+        if solver is not None:
+            self._solution = solver["solution"]
+            self._messages_at_last_solve = solver["messages_at_last_solve"]
+            self._messages_at_last_check = solver["messages_at_last_check"]
+            self._never_solved = solver["never_solved"]
+            self._head_signature = solver["head_signature"]
+        else:
+            # Donor had no solver: solve at the first head message, with the
+            # throttle counters anchored to the adopted message count.
+            self._never_solved = True
+            self._messages_at_last_solve = self._state.messages_routed
+            self._messages_at_last_check = self._state.messages_routed
+
     def _head_key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
         if self._solution.use_w_choices:
             return tuple(range(self.num_workers))

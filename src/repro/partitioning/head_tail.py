@@ -784,6 +784,51 @@ class HeadTailPartitioner(Partitioner):
         if capacity < required:
             grow(required)
 
+    def _export_structures(self, state: dict) -> None:
+        state["theta"] = self._theta
+        state["warmup_messages"] = self._warmup_messages
+        export = getattr(self._sketch, "export_state", None)
+        if callable(export):
+            state["sketch"] = export()
+        # The candidate caches are pure derivations, but re-deriving them is
+        # the only cost a switch pays per hot key — carry them along, tagged
+        # with the hashing identity they were derived under.
+        state["head_cand_cache"] = (dict(self._head_cand_cache), self._head_cand_cache_d)
+        state["head_cand_cache_ids"] = (
+            dict(self._head_cand_cache_ids),
+            self._head_cand_cache_ids_d,
+        )
+        state["id_dictionary"] = self._id_dict
+
+    def _adopt_structures(self, state) -> None:
+        sketch_state = state.get("sketch")
+        if sketch_state is not None:
+            # Re-seed the head table from the donor instead of cold-starting:
+            # the monitored counters, their summary order and the stream
+            # total all carry over, so warmup is already behind us and the
+            # head is hot from the first adopted message.  The capacity is
+            # at least what *this* scheme's theta requires — an adopter with
+            # a smaller theta gets the extra counters its guarantee needs.
+            required = max(1, math.ceil(self._sketch_slack / self._theta))
+            capacity = max(required, int(sketch_state["capacity"]))
+            self._sketch = SpaceSaving.from_state(sketch_state, capacity=capacity)
+        dictionary = state.get("id_dictionary")
+        if dictionary is not None:
+            self._id_dict = dictionary
+        if state.get("seed") == self._seed and state.get("num_workers") == self._num_workers:
+            # Same hash family: the donor's candidate tuples are ours too.
+            cache, cache_d = state.get("head_cand_cache", ({}, 0))
+            self._head_cand_cache = dict(cache)
+            self._head_cand_cache_d = cache_d
+            cache_ids, cache_ids_d = state.get("head_cand_cache_ids", ({}, 0))
+            self._head_cand_cache_ids = dict(cache_ids)
+            self._head_cand_cache_ids_d = cache_ids_d
+        else:
+            self._head_cand_cache.clear()
+            self._head_cand_cache_d = 0
+            self._head_cand_cache_ids.clear()
+            self._head_cand_cache_ids_d = 0
+
     def key_candidates(self, key: Key) -> tuple[WorkerId, ...]:
         """Pure candidate set: head keys via the scheme's head placement,
         tail keys via the two PKG choices (no sketch mutation)."""

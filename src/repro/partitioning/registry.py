@@ -21,6 +21,15 @@ from repro.partitioning.round_robin_head import RoundRobinHead
 from repro.partitioning.shuffle_grouping import ShuffleGrouping
 from repro.partitioning.w_choices import WChoices
 
+
+def _build_adaptive(**kwargs) -> Partitioner:
+    # Imported lazily: the adaptive partitioner builds its delegates through
+    # this registry, so a module-level import would be circular.
+    from repro.adaptive.partitioner import AdaptivePartitioner
+
+    return AdaptivePartitioner(**kwargs)
+
+
 _BUILDERS: dict[str, Callable[..., Partitioner]] = {
     "KG": KeyGrouping,
     "SG": ShuffleGrouping,
@@ -31,6 +40,7 @@ _BUILDERS: dict[str, Callable[..., Partitioner]] = {
     "GREEDY-D": GreedyD,
     "FIXED-D": FixedDHead,
     "CH": ConsistentGrouping,
+    "AD": _build_adaptive,
 }
 
 _ALIASES: dict[str, str] = {
@@ -53,6 +63,7 @@ _ALIASES: dict[str, str] = {
     "FIXEDD": "FIXED-D",
     "CONSISTENT": "CH",
     "CONSISTENT_HASHING": "CH",
+    "ADAPTIVE": "AD",
 }
 
 

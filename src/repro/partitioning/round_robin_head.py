@@ -52,6 +52,16 @@ class RoundRobinHead(HeadTailPartitioner):
         super().reset()
         self._next_worker = 0
 
+    def _export_structures(self, state: dict) -> None:
+        super()._export_structures(state)
+        state["head_cursor"] = self._next_worker
+
+    def _adopt_structures(self, state) -> None:
+        super()._adopt_structures(state)
+        cursor = state.get("head_cursor")
+        if cursor is not None:
+            self._next_worker = cursor % self.num_workers
+
     def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
         super()._rescale_structures(old_num_workers, new_num_workers)
         # Head keys have full placement freedom (the base head candidate

@@ -70,6 +70,14 @@ class ShuffleGrouping(Partitioner):
         super().reset()
         self._next = self.seed % self.num_workers
 
+    def _export_structures(self, state: dict) -> None:
+        state["round_robin_cursor"] = self._next
+
+    def _adopt_structures(self, state) -> None:
+        cursor = state.get("round_robin_cursor")
+        if cursor is not None:
+            self._next = cursor % self.num_workers
+
     def _rescale_structures(self, old_num_workers: int, new_num_workers: int) -> None:
         # Round-robin has no key affinity; only the cursor must stay in
         # range.  key_candidates stays the base "no affinity" empty tuple,

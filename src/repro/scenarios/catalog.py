@@ -140,6 +140,9 @@ _CATALOG_ENTRIES: tuple[Mapping[str, Any], ...] = (
             "max_p99_load_factor": 1.2,
             "per_scheme": {
                 "PKG": {"max_imbalance": 0.06, "max_p99_load_factor": 2.0},
+                # AD starts on PKG and trails its first switch; worst
+                # measured p99 1.253 (quick scale, default knobs).
+                "AD": {"max_p99_load_factor": 1.5},
             },
         },
     },

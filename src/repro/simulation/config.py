@@ -66,6 +66,16 @@ class SimulationConfig:
         historical fields stand and ``mode`` is derived from them, so
         ``config.mode`` is always the normalised view of how the run will
         execute.  Results are byte-identical across all modes.
+    imbalance_window:
+        When > 0, additionally track the *per-window* imbalance: the load
+        imbalance of each consecutive span of ``imbalance_window`` messages
+        in isolation (see
+        :class:`~repro.simulation.metrics.WindowedImbalanceSeries`).  The
+        worst window is reported as
+        :attr:`~repro.simulation.results.SimulationResult.worst_window_imbalance`
+        — the metric the adaptive-partitioning experiment compares schemes
+        on, because cumulative imbalance dilutes transient drift.  0 (the
+        default) disables the series.
     rescale_plan:
         Optional elasticity schedule: a
         :class:`~repro.elasticity.events.RescalePlan` or a spec string like
@@ -87,6 +97,7 @@ class SimulationConfig:
     scheme_options: dict[str, Any] = field(default_factory=dict)
     track_interval: int = 0
     track_head_tail: bool = False
+    imbalance_window: int = 0
     batch_size: int = 1024
     columnar: bool = False
     mode: ExecutionMode | str | None = None
@@ -106,6 +117,10 @@ class SimulationConfig:
         if self.track_interval < 0:
             raise ConfigurationError(
                 f"track_interval must be >= 0, got {self.track_interval}"
+            )
+        if self.imbalance_window < 0:
+            raise ConfigurationError(
+                f"imbalance_window must be >= 0, got {self.imbalance_window}"
             )
         if self.batch_size < 1:
             raise ConfigurationError(

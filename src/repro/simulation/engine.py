@@ -35,7 +35,11 @@ from repro.exceptions import ConfigurationError, SimulationError
 from repro.partitioning.base import Partitioner
 from repro.partitioning.registry import canonical_name, create_partitioner
 from repro.simulation.config import SimulationConfig
-from repro.simulation.metrics import ImbalanceTimeSeries, LoadTracker
+from repro.simulation.metrics import (
+    ImbalanceTimeSeries,
+    LoadTracker,
+    WindowedImbalanceSeries,
+)
 from repro.simulation.results import SimulationResult
 from repro.types import Key
 
@@ -79,6 +83,35 @@ class SimulationEngine:
                 policy=get_policy(plan.policy),
                 migration_window=plan.migration_window,
             )
+        # Adaptive sources price their scheme switches through the same
+        # accountant, so one exists whenever any source can switch — even in
+        # the fixed-worker setting where no plan would have created it.
+        adaptive = [
+            source
+            for source in self._sources
+            if callable(getattr(source, "bind_accountant", None))
+        ]
+        if adaptive and self._accountant is None:
+            self._accountant = MigrationCostAccountant(
+                policy=get_policy(config.rescale_policy),
+                migration_window=config.migration_window,
+            )
+        for index, source in enumerate(self._sources):
+            bind = getattr(source, "bind_accountant", None)
+            if callable(bind):
+                # Per-source positions map to approximate global stream
+                # offsets: source i routes the messages with index
+                # position * num_sources + i.
+                bind(
+                    self._accountant,
+                    offset_scale=config.num_sources,
+                    offset_base=index,
+                )
+        self._window_series: WindowedImbalanceSeries | None = (
+            WindowedImbalanceSeries(interval=config.imbalance_window)
+            if config.imbalance_window > 0
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -160,6 +193,7 @@ class SimulationEngine:
         sources = self._sources
         tracker = self._tracker
         series = self._series
+        window_series = self._window_series
         worker_keys = self._worker_keys
         head_keys = self._head_keys
         events = self._pending_events
@@ -178,6 +212,8 @@ class SimulationEngine:
             if decision.is_head:
                 head_keys.add(key)
             series.maybe_record(tracker)
+            if window_series is not None:
+                window_series.maybe_record(tracker)
             index += 1
         return index
 
@@ -270,6 +306,7 @@ class SimulationEngine:
         sources = self._sources
         tracker = self._tracker
         series = self._series
+        window_series = self._window_series
         worker_keys = self._worker_keys
         head_keys = self._head_keys
         accountant = self._accountant
@@ -303,6 +340,8 @@ class SimulationEngine:
             if is_head:
                 head_keys.add(key)
             series.maybe_record(tracker)
+            if window_series is not None:
+                window_series.maybe_record(tracker)
             index += 1
 
     def _route_span_columnar(self, batch, index: int) -> None:
@@ -319,6 +358,7 @@ class SimulationEngine:
         sources = self._sources
         tracker = self._tracker
         series = self._series
+        window_series = self._window_series
         worker_keys = self._worker_keys
         head_keys = self._head_keys
         accountant = self._accountant
@@ -345,6 +385,8 @@ class SimulationEngine:
             if is_head:
                 head_keys.add(kid)
             series.maybe_record(tracker)
+            if window_series is not None:
+                window_series.maybe_record(tracker)
             index += 1
 
     # ------------------------------------------------------------------ #
@@ -445,6 +487,26 @@ class SimulationEngine:
             head_keys_preserved=head_keys_preserved,
         )
 
+    def _collect_switch_log(self) -> list[dict]:
+        """Gather per-source switch events into one stream-ordered log.
+
+        Sorted by (per-source position, source index): positions measure
+        the same per-source clock in every execution mode, so the log —
+        unlike raw append order, which depends on how batches interleave
+        the sources — is byte-identical across scalar/batched/columnar.
+        """
+        entries: list[tuple[int, int, dict]] = []
+        for source_index, source in enumerate(self._sources):
+            events = getattr(source, "switch_events", None)
+            if not callable(events):
+                continue
+            for record in events():
+                row = record.to_dict()
+                row["source"] = source_index
+                entries.append((record.position, source_index, row))
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return [row for _, _, row in entries]
+
     def _build_result(self, num_messages: int) -> SimulationResult:
         tracker = self._tracker
         head_loads = tail_loads = None
@@ -452,6 +514,14 @@ class SimulationEngine:
             head_loads, tail_loads = tracker.head_tail_split()
         memory_entries = sum(len(keys) for keys in self._worker_keys)
         distinct_keys = len(set().union(*self._worker_keys)) if self._worker_keys else 0
+        if self._accountant is not None:
+            # Switch records are appended as each source routes its share,
+            # an order that depends on the execution mode; offsets do not.
+            # (offset, kind) is a total order: switch offsets are unique per
+            # source and plan events carry distinct kinds.
+            self._accountant.report().events.sort(
+                key=lambda record: (record.offset, record.kind)
+            )
         return SimulationResult(
             scheme=self._scheme,
             num_workers=tracker.num_workers,
@@ -470,5 +540,9 @@ class SimulationEngine:
             distinct_key_count=distinct_keys,
             migration=(
                 self._accountant.report() if self._accountant is not None else None
+            ),
+            switch_log=self._collect_switch_log(),
+            worst_window_imbalance=(
+                self._window_series.worst if self._window_series is not None else None
             ),
         )

@@ -147,6 +147,60 @@ class LoadTracker:
 
 
 @dataclass(slots=True)
+class WindowedImbalanceSeries:
+    """Per-window imbalance: ``I`` computed over each window's load *delta*.
+
+    The cumulative imbalance ``I(t)`` dilutes a transient hot spell — a few
+    thousand skewed messages vanish inside millions of balanced ones.  This
+    series instead snapshots the absolute loads every ``interval`` messages
+    and computes the imbalance of the messages routed *within* the window,
+    so a scheme that lags behind a drift shows up in :attr:`worst` even when
+    its end-of-stream imbalance looks fine.  A topology change (rescale)
+    invalidates the open window's baseline; that window is dropped and the
+    series re-baselines from the post-rescale loads — deterministic, and
+    identical across the scalar/batched/columnar paths because windows close
+    at exact message counts.
+    """
+
+    interval: int
+    times: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    _baseline: list[int] = field(default_factory=list)
+
+    def maybe_record(self, tracker: LoadTracker) -> None:
+        """Close the window if the tracker just crossed a boundary."""
+        if self.interval <= 0:
+            return
+        seen = tracker.messages_seen
+        if seen == 0 or seen % self.interval:
+            return
+        loads = tracker.loads
+        baseline = self._baseline
+        if len(baseline) != len(loads):
+            # A rescale changed the worker set mid-window: the delta is not
+            # well defined, so drop this window and restart from here.
+            self._baseline = loads
+            return
+        delta = [now - then for now, then in zip(loads, baseline)]
+        total = sum(delta)
+        if total > 0:
+            normalized = [d / total for d in delta]
+            self.times.append(seen)
+            self.values.append(
+                max(0.0, max(normalized) - sum(normalized) / len(normalized))
+            )
+        self._baseline = loads
+
+    @property
+    def worst(self) -> float:
+        """The worst single-window imbalance seen (0.0 with no closed window)."""
+        return max(self.values) if self.values else 0.0
+
+    def as_rows(self) -> list[tuple[int, float]]:
+        return list(zip(self.times, self.values))
+
+
+@dataclass(slots=True)
 class ImbalanceTimeSeries:
     """Imbalance ``I(t)`` sampled every ``interval`` messages."""
 

@@ -44,6 +44,17 @@ class SimulationResult:
         Migration-cost report of the run's rescale plan (``None`` in the
         fixed-worker setting).  When a plan shrank the cluster,
         ``num_workers``/``worker_loads`` describe the *final* worker set.
+        Adaptive (``AD``) runs get a report even without a plan: scheme
+        switches are priced in the same migration currency.
+    switch_log:
+        Scheme switches applied by adaptive sources during the run, in
+        stream order: one dict per switch (``source``, ``position``,
+        ``from_scheme``, ``to_scheme``, move costs, trigger metrics).
+        Empty for every static scheme.
+    worst_window_imbalance:
+        Worst per-window imbalance of the run (see
+        ``SimulationConfig.imbalance_window``); ``None`` when windowed
+        tracking was disabled.
     """
 
     scheme: str
@@ -60,6 +71,8 @@ class SimulationResult:
     head_key_count: int = 0
     distinct_key_count: int = 0
     migration: MigrationReport | None = None
+    switch_log: list[dict] = field(default_factory=list)
+    worst_window_imbalance: float | None = None
 
     @property
     def normalized_loads(self) -> list[float]:
@@ -117,6 +130,10 @@ class SimulationResult:
             "memory_entries": self.memory_entries,
             "head_keys": self.head_key_count,
         }
+        if self.worst_window_imbalance is not None:
+            row["worst_window_imbalance"] = self.worst_window_imbalance
+        if self.switch_log:
+            row["switches"] = len(self.switch_log)
         if self.migration is not None:
             row.update(self.migration.summary())
         return row

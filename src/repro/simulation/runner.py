@@ -21,6 +21,7 @@ def run_simulation(
     scheme_options: dict[str, Any] | None = None,
     track_interval: int = 0,
     track_head_tail: bool = False,
+    imbalance_window: int = 0,
     batch_size: int | None = None,
     columnar: bool | None = None,
     mode: ModeLike | None = None,
@@ -52,6 +53,12 @@ def run_simulation(
     or fail mid-stream; ``rescale_policy`` and ``migration_window`` choose
     how spec-string plans are executed.  The returned result then carries a
     :class:`~repro.elasticity.accountant.MigrationReport` in ``.migration``.
+
+    ``imbalance_window`` > 0 additionally tracks the per-window imbalance
+    (the metric adaptive partitioning is judged on); the worst window lands
+    in ``result.worst_window_imbalance``.  For the adaptive scheme (``AD``),
+    pass policy knobs via ``scheme_options`` — e.g.
+    ``{"policy": "enter_skew=1.5,dwell=8000", "check_interval": 1000}``.
     """
     resolved = resolve_mode(
         mode,
@@ -68,6 +75,7 @@ def run_simulation(
         scheme_options=scheme_options or {},
         track_interval=track_interval,
         track_head_tail=track_head_tail,
+        imbalance_window=imbalance_window,
         mode=resolved,
         rescale_plan=rescale_plan,
         rescale_policy=rescale_policy,

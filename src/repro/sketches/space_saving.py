@@ -532,6 +532,49 @@ class SpaceSaving(FrequencyEstimator):
         bucket.prev = bucket.next = None
 
     # ------------------------------------------------------------------ #
+    # transplantable state (adaptive scheme switching)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """Snapshot of the summary, sufficient to rebuild it byte-identically.
+
+        Entries are listed in summary order — count classes ascending, keys
+        within a class in insertion order — which is exactly the order
+        :meth:`from_state` must replay them in: the stream summary's future
+        behaviour (bucket relinks, eviction of the *oldest* minimal counter)
+        depends on that order, not just on the (key, count, error) multiset.
+        """
+        return {
+            "capacity": self._capacity,
+            "total": self._total,
+            "entries": [
+                (entry.key, entry.count, entry.error) for entry in self.entries()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, capacity: int | None = None) -> "SpaceSaving":
+        """Rebuild a sketch from :meth:`export_state` output.
+
+        With the exported capacity the result is byte-identical to the
+        original — same buckets, same within-bucket order, same total — so a
+        partitioner adopting another's sketch continues exactly where the
+        donor left off instead of cold-starting through the warmup again.
+        ``capacity`` overrides the sizing (an adopting scheme may need more
+        counters for its own theta); a smaller capacity keeps the largest
+        counters, like :meth:`merge` does.
+        """
+        target = int(capacity if capacity is not None else state["capacity"])
+        if target < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {target}")
+        sketch = cls(target)
+        entries = state["entries"]
+        # Entries are stored ascending by count: the suffix holds the largest.
+        for key, count, error in entries[-target:] if len(entries) > target else entries:
+            sketch._insert_new(key, count, error)
+        sketch._total = int(state["total"])
+        return sketch
+
+    # ------------------------------------------------------------------ #
     # merging (used by the distributed generalisation)
     # ------------------------------------------------------------------ #
     def merge(self, other: "SpaceSaving") -> "SpaceSaving":

@@ -94,6 +94,19 @@ class TestCiWorkflow:
         assert "pytest -q tests/scenarios" in commands
         assert "run scenarios --scale tiny" in commands
 
+    def test_scenario_regression_job_smokes_the_adaptive_scheme(self, ci):
+        # AD must route a cataloged drift scenario end to end through the
+        # CLI and stay within the catalog's expected bounds.
+        commands = _job_commands(ci["jobs"]["scenario-regression"])
+        assert "scenario run drift_mixture --scheme AD" in commands
+
+    def test_suite_smoke_exercises_adaptive_experiment(self, ci):
+        # The fig18 drift sweep runs AD against every static scheme at
+        # tiny scale on each PR (the win claim is pinned in
+        # tests/experiments/test_experiment_drivers.py).
+        commands = _job_commands(ci["jobs"]["suite-smoke"])
+        assert "run fig18 --scale tiny" in commands
+
     def test_cluster_smoke_runs_the_marked_e2e_tests(self, ci):
         # The cluster tests spawn real processes and are opt-in via the
         # `cluster` marker; the smoke job is where they must run.

@@ -67,6 +67,24 @@ class TestExecutionModeValue:
         with pytest.raises(ConfigurationError):
             ExecutionMode.coerce(123)
 
+    def test_parse_errors_list_the_valid_specs(self):
+        # A CLI typo should show the user the full grammar, not just reject.
+        for bad in ("vectorised", "", ":128", "batched:many", "scalar:8"):
+            with pytest.raises(ConfigurationError, match=r"scalar \| batched"):
+                ExecutionMode.parse(bad)
+        with pytest.raises(ConfigurationError, match=r"scalar \| batched"):
+            ExecutionMode.parse(None)  # type: ignore[arg-type]
+
+    def test_parse_errors_name_the_offending_part(self):
+        with pytest.raises(ConfigurationError, match="'vectorised'"):
+            ExecutionMode.parse("vectorised:64")
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            ExecutionMode.parse("columnar:big")
+        with pytest.raises(ConfigurationError, match="takes no batch size"):
+            ExecutionMode.parse("scalar:4")
+        with pytest.raises(ConfigurationError, match="must be a string"):
+            ExecutionMode.parse(1024)  # type: ignore[arg-type]
+
     def test_properties(self):
         assert ExecutionMode.scalar().is_scalar
         assert not ExecutionMode.scalar().is_columnar

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig10_zipf_imbalance,
     fig13_throughput,
     fig14_latency,
+    fig18_adaptive,
     table1_datasets,
 )
 
@@ -173,6 +174,47 @@ class TestFig13AndFig14:
 
     def test_latency_rows_have_percentiles(self, latency_result):
         assert {"p50_ms", "p95_ms", "p99_ms", "max_avg_ms"} <= set(latency_result.rows[0])
+
+
+class TestFig18:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig18_adaptive.run(fig18_adaptive.Fig18Config.tiny())
+
+    def test_rows_cover_every_scenario_and_scheme(self, result):
+        config = fig18_adaptive.Fig18Config.tiny()
+        scenarios = {row["scenario"] for row in result.rows}
+        schemes = {row["scheme"] for row in result.rows}
+        assert scenarios == set(config.scenarios)
+        assert schemes == set(config.schemes)
+        assert len(result.rows) == len(config.scenarios) * len(config.schemes)
+
+    def test_ad_wins_at_least_two_drift_scenarios(self, result):
+        # The headline claim of Figure 18 (ext.): strictly lower
+        # worst-window imbalance than every static scheme at
+        # equal-or-lower replication, on >= 2 drift scenarios.
+        wins = {
+            row["scenario"]
+            for row in result.rows
+            if row["scheme"] == fig18_adaptive.ADAPTIVE_SCHEME and row["ad_wins"]
+        }
+        assert len(wins) >= 2, f"AD won only {sorted(wins)}"
+
+    def test_ad_switches_and_pays_for_them(self, result):
+        # The controller must actually act under drift, and the
+        # migration accountant must price the moves.  A switch may move
+        # zero keys (the ladder rungs share the tail hash family, so
+        # only head keys travel), but across the sweep some switch has
+        # to carry a nonzero bill.
+        ad_rows = [
+            row for row in result.rows
+            if row["scheme"] == fig18_adaptive.ADAPTIVE_SCHEME
+        ]
+        assert sum(row["switches"] for row in ad_rows) > 0
+        assert any(row["keys_moved"] > 0 for row in ad_rows)
+        for row in ad_rows:
+            if row["switches"] == 0:
+                assert row["keys_moved"] == 0 and row["entries_migrated"] == 0
 
 
 class TestTable1:

@@ -25,6 +25,7 @@ EXPECTED_EXPERIMENTS = {
     "fig15",
     "fig16",
     "fig17",
+    "fig18",
     "scenarios",
     "table1",
 }

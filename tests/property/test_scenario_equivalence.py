@@ -15,10 +15,14 @@ from repro.partitioning.registry import available_schemes
 from repro.scenarios import CATALOG, build_workload
 from repro.simulation.runner import run_simulation
 
-#: Constructor extras for schemes whose signature requires them.
-SCHEME_OPTIONS: dict[str, dict[str, int]] = {
+#: Constructor extras for schemes whose signature requires them.  AD's
+#: per-source clocks are tuned so it actually switches schemes mid-stream
+#: at this scale (2 000 messages per source) — the equivalence must hold
+#: *through* the switches, not only in the never-switching case.
+SCHEME_OPTIONS: dict[str, dict[str, object]] = {
     "GREEDY-D": {"num_choices": 4},
     "FIXED-D": {"num_choices": 5},
+    "AD": {"check_interval": 250, "policy": "dwell=500"},
 }
 
 NUM_MESSAGES = 6_000
@@ -33,6 +37,7 @@ def _snapshot(result):
         result.head_key_count,
         result.distinct_key_count,
         result.migration.to_dict() if result.migration else None,
+        result.switch_log,
     )
 
 
@@ -60,7 +65,7 @@ class TestScenarioRepresentationInvariance:
         assert _snapshot(batched) == _snapshot(scalar)
         assert _snapshot(columnar) == _snapshot(scalar)
 
-    @pytest.mark.parametrize("scheme", ["PKG", "D-C", "W-C", "CH"])
+    @pytest.mark.parametrize("scheme", ["PKG", "D-C", "W-C", "CH", "AD"])
     @pytest.mark.parametrize(
         "name", ["flash_crowd", "single_key_flood", "drift_mixture"]
     )
@@ -75,3 +80,36 @@ class TestScenarioRepresentationInvariance:
         )
         assert _snapshot(batched) == _snapshot(scalar)
         assert _snapshot(columnar) == _snapshot(scalar)
+
+
+class TestAdaptiveSwitchesAreRepresentationInvariant:
+    """The AD rows above must not pass vacuously: the adaptive scheme has
+    to *actually switch* mid-stream at this scale, and the resulting switch
+    log (positions, scheme transitions, move costs) must be identical
+    across the scalar, batched and columnar paths."""
+
+    @pytest.mark.parametrize("name", ["hot_key_churn", "drift_mixture"])
+    def test_ad_switches_and_the_log_matches_across_modes(self, name):
+        scalar = _run(name, "AD", batch_size=1, columnar=False)
+        batched = _run(name, "AD", batch_size=389, columnar=False)
+        columnar = _run(name, "AD", batch_size=613, columnar=True)
+        assert scalar.switch_log, (
+            "AD never switched mid-stream — the adaptive equivalence "
+            "checks would be vacuous; retune its clocks for this scale"
+        )
+        assert batched.switch_log == scalar.switch_log
+        assert columnar.switch_log == scalar.switch_log
+
+    def test_ad_switches_survive_a_rescale_plan(self):
+        plan = "join@1500,leave@3200,fail@4800"
+        scalar = _run(
+            "drift_mixture", "AD", batch_size=1, columnar=False,
+            rescale_plan=plan,
+        )
+        columnar = _run(
+            "drift_mixture", "AD", batch_size=613, columnar=True,
+            rescale_plan=plan,
+        )
+        assert scalar.migration is not None
+        assert scalar.switch_log == columnar.switch_log
+        assert _snapshot(scalar) == _snapshot(columnar)

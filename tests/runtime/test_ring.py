@@ -101,6 +101,52 @@ class TestWrapAround:
                 popped += 1
 
 
+class TestExactTailFill:
+    """A frame that exactly fills the words left before the wrap point.
+
+    ``needed == tail`` is the PAD boundary: the frame must be written flush
+    against the end of the region with **no** PAD frame and no skipped
+    words, and the next frame must start cleanly at offset 0.  Regression
+    test — an off-by-one in the ``needed > tail`` comparison would either
+    waste the whole tail or corrupt the wrap.
+    """
+
+    def test_exact_fill_emits_no_pad_and_wraps_cleanly(self):
+        capacity = 32
+        producer, consumer, buffer = make_ring(capacity_words=capacity)
+        first = np.arange(7, dtype=np.int64)
+        assert producer.try_push(first, base_index=1)
+        assert consumer.try_pop().ids.tolist() == list(range(7))
+        # The offset is now 12, so the tail holds exactly 20 words; a frame
+        # of 15 ids needs 5 + 15 = 20 words — an exact fill.
+        exact = np.arange(100, 115, dtype=np.int64)
+        assert producer.try_push(exact, base_index=2)
+        assert int(buffer[0]) == capacity  # producer advanced by 20: no PAD
+        frame = consumer.try_pop()
+        assert frame.seq == 1
+        assert frame.kind == DATA
+        assert frame.base_index == 2
+        assert frame.ids.tolist() == exact.tolist()
+        # The region is fully recycled: the next frame starts at offset 0.
+        assert producer.free_words() == capacity
+        assert producer.try_push(np.array([7, 8, 9], dtype=np.int64))
+        assert int(buffer[CONTROL_WORDS + 1]) == DATA  # header at offset 0
+        frame = consumer.try_pop()
+        assert frame.seq == 2
+        assert frame.ids.tolist() == [7, 8, 9]
+
+    def test_exact_fill_is_the_largest_frame_that_fits_the_tail(self):
+        # With a 12-word frame unread, free == tail == 20: one id more than
+        # the exact fill needs a PAD and therefore cannot fit, while the
+        # exact fill still can.
+        producer, consumer, _ = make_ring(capacity_words=32)
+        assert producer.try_push(np.zeros(7, dtype=np.int64))
+        assert not producer.try_push(np.zeros(16, dtype=np.int64))
+        assert producer.try_push(np.zeros(15, dtype=np.int64))
+        assert consumer.try_pop().ids.size == 7
+        assert consumer.try_pop().ids.size == 15
+
+
 class TestBackpressure:
     def test_try_push_returns_false_when_full(self):
         producer, consumer, _ = make_ring(capacity_words=32)
