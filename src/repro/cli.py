@@ -324,7 +324,44 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "also simulate the identical workload and check the realised "
-            "imbalance against the prediction (exit 1 beyond tolerance)"
+            "run against the prediction: bit-exact delivery on a clean "
+            "run, routing match plus exact-once conservation on a "
+            "recovered one (exit 1 on violation)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--inject",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault plan, e.g. 'crash@w2:5000,slow@w0:3x' — "
+            "kinds crash/hang/slow/delta_drop, '!' suffix re-arms the "
+            "fault in every respawned incarnation (see docs/"
+            "fault_tolerance.md)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--max-restarts", type=int, default=1,
+        help=(
+            "supervised respawns allowed per worker slot before its share "
+            "is remapped to the survivors (default: 1)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--ring-words", type=int, default=None, metavar="N",
+        help=(
+            "per-worker ring capacity in int64 words (default: 16384); "
+            "small rings backpressure the source, which keeps injected "
+            "faults landing mid-stream instead of after a fully buffered "
+            "stream has already been scattered"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help=(
+            "fail the run (exit 1) when a worker exhausts its restart "
+            "budget instead of degrading onto the survivors"
         ),
     )
 
@@ -515,6 +552,13 @@ def _scenario_main(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+#: ``cluster-run`` exit code for a run that *completed*, but only by
+#: degrading a worker slot onto the survivors (restart budget exhausted).
+#: Distinct from 0 (clean / fully recovered) and 1 (failed) so chaos
+#: drills can assert the degradation path precisely.
+EXIT_DEGRADED = 3
+
+
 def _cluster_main(args: argparse.Namespace) -> int:
     from repro.exceptions import ClusterRuntimeError, ConfigurationError
     from repro.runtime import ClusterConfig, run_cluster, validate_against_simulation
@@ -529,6 +573,14 @@ def _cluster_main(args: argparse.Namespace) -> int:
             seed=args.seed,
             service_ns=args.service_ns,
             mode=args.mode,
+            inject=args.inject,
+            max_restarts=args.max_restarts,
+            degrade_when_exhausted=not args.no_degrade,
+            **(
+                {"ring_capacity_words": args.ring_words}
+                if args.ring_words is not None
+                else {}
+            ),
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -540,20 +592,31 @@ def _cluster_main(args: argparse.Namespace) -> int:
         return 1
     for name, value in result.summary().items():
         print(f"{name}: {value}")
+    for line in result.recovery_log:
+        print(f"recovery: {line}")
+    exit_code = EXIT_DEGRADED if result.degraded else 0
     if not args.validate:
-        return 0
+        return exit_code
     report = validate_against_simulation(config, result)
     print(f"simulated_imbalance: {report['simulated_imbalance']:.6f}")
     print(f"imbalance_rel_diff: {report['relative_difference']:.6f}")
-    print(f"loads_match_simulation: {report['loads_match']}")
-    if not report["within_tolerance"]:
-        print(
-            "VIOLATED realised imbalance deviates from the simulator "
-            "beyond tolerance",
+    print(f"routing_match_simulation: {report['routing_match']}")
+    print(f"delivery_exact: {report['delivery_exact']}")
+    print(f"conservation_ok: {report['conservation_ok']}")
+    if not report["ok"]:
+        what = (
+            "recovered run violates routing/conservation checks"
+            if report["recovered"]
+            else "realised run deviates from the simulator beyond tolerance"
         )
+        print(f"VIOLATED {what}")
         return 1
-    print("within simulator tolerance")
-    return 0
+    print(
+        "recovered run conserves the stream exactly"
+        if report["recovered"]
+        else "within simulator tolerance"
+    )
+    return exit_code
 
 
 def _suite_main(args: argparse.Namespace) -> int:

@@ -246,5 +246,40 @@ class MigrationCostAccountant:
         self._report.events.append(record)
         return record
 
+    def record_recovery(
+        self,
+        offset: int,
+        description: str,
+        num_workers: int,
+        keys_moved: int,
+        entries_migrated: int,
+        entries_lost: int = 0,
+        head_keys_preserved: int = 0,
+    ) -> RescaleEventRecord:
+        """Append the record of one cluster-runtime recovery action.
+
+        A supervised worker recovery moves no workers — the slot survives —
+        but it *is* a migration event in the same currency as a rescale:
+        keys redirected to survivors while the slot was down are moved
+        keys, the dictionary entries replayed into the replacement's
+        replica are migrated state entries, and a degraded slot's replica
+        is lost state.  Recording recoveries in the same report keeps the
+        price of fault tolerance visible next to the price of elasticity
+        and adaptivity.  ``description`` becomes the record's ``kind``
+        (e.g. ``"recover:w2"``, ``"degrade:w1"``).
+        """
+        record = RescaleEventRecord(
+            offset=offset,
+            kind=description,
+            old_num_workers=num_workers,
+            new_num_workers=num_workers,
+            keys_moved=keys_moved,
+            entries_migrated=entries_migrated,
+            entries_lost=entries_lost,
+            head_keys_preserved=head_keys_preserved,
+        )
+        self._report.events.append(record)
+        return record
+
     def report(self) -> MigrationReport:
         return self._report

@@ -74,12 +74,18 @@ class WorkerCrashError(ClusterRuntimeError):
     partial:
         Whatever results were salvaged from the still-healthy workers, or
         ``None`` when nothing could be recovered.
+    restarts:
+        Supervised respawns performed before the run gave up (0 under a
+        ``max_restarts=0`` strict configuration).
     """
 
-    def __init__(self, worker_id: int, message: str, partial=None) -> None:
+    def __init__(
+        self, worker_id: int, message: str, partial=None, restarts: int = 0
+    ) -> None:
         super().__init__(message)
         self.worker_id = worker_id
         self.partial = partial
+        self.restarts = restarts
 
 
 class AnalysisError(ReproError):

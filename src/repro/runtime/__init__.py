@@ -15,10 +15,18 @@ summary and watches heartbeats for crash and hang detection.
 See ``docs/runtime.md`` for the architecture and the shared-memory layout.
 """
 
+from repro.runtime.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    WorkerFaults,
+)
 from repro.runtime.ring import (
     EOF,
     FRAME_HEADER_WORDS,
     Frame,
+    InflightDrain,
     RingClosed,
     SpscRing,
 )
@@ -32,15 +40,21 @@ from repro.runtime.runtime import (
 from repro.runtime.state import ClusterSnapshot, SharedClusterState
 
 __all__ = [
+    "CRASH_EXIT_CODE",
     "EOF",
+    "FAULT_KINDS",
     "FRAME_HEADER_WORDS",
+    "FaultPlan",
+    "FaultSpec",
     "Frame",
+    "InflightDrain",
     "RingClosed",
     "SpscRing",
     "ClusterConfig",
     "ClusterResult",
     "ClusterSnapshot",
     "SharedClusterState",
+    "WorkerFaults",
     "WorkerResult",
     "run_cluster",
     "validate_against_simulation",

@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the cluster runtime.
+
+Chaos testing is only useful when the chaos is reproducible: a fault plan
+is a declarative spec string, parsed once in the coordinator and threaded
+into the worker processes at fork time, so the same plan against the same
+seeded workload produces the same failure at the same message offset on
+every run.  This module replaces the ad-hoc ``worker_fault`` tuple (and its
+``os._exit``/``"hang"`` string hooks) that PR 8 grew for its two failure
+tests.
+
+Grammar (comma-separated entries)::
+
+    plan       := entry ("," entry)*
+    entry      := kind "@" "w" WORKER ":" arg ["!"]
+    kind       := "crash" | "hang" | "slow" | "delta_drop"
+    arg        := INT          crash/hang: trigger after INT processed
+                               messages; delta_drop: drop the first INT
+                               dictionary deltas
+                | INT "x"      slow: multiply the worker's service time
+
+A trailing ``!`` makes the fault *persistent* — it re-arms in every
+respawned incarnation of the worker (the way to exhaust a supervisor's
+restart budget).  Without it a fault fires in the worker's first
+incarnation only, so a supervised respawn genuinely recovers.
+
+Examples::
+
+    "crash@w2:5000"                 worker 2 hard-exits after 5000 messages
+    "hang@w1:12000"                 worker 1 wedges (no heartbeats, no pops)
+    "slow@w0:3x"                    worker 0 services every message 3x slower
+    "delta_drop@w3:1"               worker 3 drops its first dictionary
+                                    delta -> gap-detected protocol error
+    "crash@w1:500!"                 worker 1 crashes in *every* incarnation
+
+The fault *kinds* cover the failure modes the supervisor distinguishes:
+
+``crash``
+    the process dies (``os._exit``) — detected by liveness;
+``hang``
+    the process wedges without dying — detected by heartbeat age;
+``slow``
+    degraded but healthy — must *not* trip any detector;
+``delta_drop``
+    a transport-protocol fault: the worker misses dictionary deltas, the
+    replica's gap check fires and the worker reports an error — detected
+    through the error pipe, recovered exactly like a crash.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+#: Recognised fault kinds, in documentation order.
+FAULT_KINDS = ("crash", "hang", "slow", "delta_drop")
+
+#: Process exit code of an injected crash (distinguishable from a real 1).
+CRASH_EXIT_CODE = 17
+
+_ENTRY = re.compile(
+    r"^(?P<kind>[a-z_]+)@w(?P<worker>\d+):(?P<arg>\d+)(?P<slow_x>x?)"
+    r"(?P<persistent>!?)$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One parsed fault: what happens, to which worker, and when."""
+
+    kind: str
+    worker_id: int
+    #: Trigger point in processed messages (crash/hang), service-time
+    #: multiplier (slow) or number of deltas to drop (delta_drop).
+    arg: int
+    #: Re-arm in every respawned incarnation (``!`` suffix).
+    persistent: bool = False
+
+    @property
+    def spec(self) -> str:
+        suffix = "x" if self.kind == "slow" else ""
+        bang = "!" if self.persistent else ""
+        return f"{self.kind}@w{self.worker_id}:{self.arg}{suffix}{bang}"
+
+
+@dataclass(slots=True)
+class WorkerFaults:
+    """The merged fault programme one worker incarnation runs under.
+
+    Built by :meth:`FaultPlan.for_worker` and passed into ``worker_main``
+    at fork time; ``None`` stands for a fault-free worker, so the hot loop
+    pays nothing when no plan is active.
+    """
+
+    crash_after: int = -1  # processed-message threshold, -1 = never
+    hang_after: int = -1
+    service_factor: int = 1
+    drop_deltas: int = 0  # deltas still to swallow (decremented live)
+
+    def take_delta_drop(self) -> bool:
+        """Consume one delta-drop token (True = swallow this delta)."""
+        if self.drop_deltas > 0:
+            self.drop_deltas -= 1
+            return True
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A parsed, validated fault-injection plan."""
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string (round-trips through :meth:`parse`)."""
+        return ",".join(fault.spec for fault in self.faults)
+
+    @property
+    def max_worker_id(self) -> int:
+        """Highest worker id the plan names (-1 for an empty plan)."""
+        return max((fault.worker_id for fault in self.faults), default=-1)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a plan spec string (see the module grammar)."""
+        faults: list[FaultSpec] = []
+        for raw in spec.split(","):
+            part = raw.strip()
+            if not part:
+                continue
+            match = _ENTRY.match(part)
+            if match is None:
+                raise ConfigurationError(
+                    f"bad fault entry {part!r}: expected "
+                    "kind@wN:ARG[!] with kind in "
+                    f"{FAULT_KINDS} (e.g. 'crash@w2:5000,slow@w0:3x')"
+                )
+            kind = match.group("kind")
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r} in {part!r}; "
+                    f"known: {FAULT_KINDS}"
+                )
+            if bool(match.group("slow_x")) != (kind == "slow"):
+                raise ConfigurationError(
+                    f"bad fault entry {part!r}: the 'x' multiplier suffix "
+                    "belongs to 'slow' faults only (e.g. 'slow@w0:3x')"
+                )
+            arg = int(match.group("arg"))
+            if kind == "slow" and arg < 1:
+                raise ConfigurationError(
+                    f"slow factor must be >= 1, got {arg} in {part!r}"
+                )
+            if kind == "delta_drop" and arg < 1:
+                raise ConfigurationError(
+                    f"delta_drop count must be >= 1, got {arg} in {part!r}"
+                )
+            faults.append(
+                FaultSpec(
+                    kind=kind,
+                    worker_id=int(match.group("worker")),
+                    arg=arg,
+                    persistent=bool(match.group("persistent")),
+                )
+            )
+        if not faults:
+            raise ConfigurationError(
+                f"empty fault plan {spec!r}: expected at least one "
+                "kind@wN:ARG entry"
+            )
+        return cls(faults=tuple(faults))
+
+    @classmethod
+    def coerce(cls, value: "FaultPlan | str | None") -> "FaultPlan | None":
+        """Accept a plan, a spec string or ``None`` (no injection)."""
+        if value is None or isinstance(value, FaultPlan):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise ConfigurationError(
+            f"cannot build a FaultPlan from {type(value).__name__!r}"
+        )
+
+    def for_worker(self, worker_id: int, incarnation: int = 0) -> WorkerFaults | None:
+        """The merged fault programme of one worker incarnation.
+
+        One-shot faults arm the first incarnation only; persistent faults
+        (``!``) arm every incarnation.  Returns ``None`` when nothing is
+        armed, which is also the production fast path.
+        """
+        merged = WorkerFaults()
+        armed = False
+        for fault in self.faults:
+            if fault.worker_id != worker_id:
+                continue
+            if incarnation > 0 and not fault.persistent:
+                continue
+            armed = True
+            if fault.kind == "crash":
+                merged.crash_after = fault.arg
+            elif fault.kind == "hang":
+                merged.hang_after = fault.arg
+            elif fault.kind == "slow":
+                merged.service_factor = fault.arg
+            elif fault.kind == "delta_drop":
+                merged.drop_deltas = fault.arg
+        return merged if armed else None

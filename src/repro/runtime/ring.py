@@ -58,10 +58,16 @@ _PRODUCER = 0
 _CONSUMER = 1
 _CAPACITY = 2
 
-#: Sleep between polls while a push waits for space or a pop for data.  On
-#: the 1-CPU containers this runtime targets, yielding the core to the peer
-#: process *is* the fast path; pure spinning would starve it.
-_POLL_SECONDS = 0.0002
+#: Bounded deterministic exponential backoff while a push waits for space
+#: or a pop for data: start short (the common case is the peer freeing the
+#: ring within microseconds), double per idle poll, cap low enough that a
+#: recovering cluster reacts within a few milliseconds.  On the 1-CPU
+#: containers this runtime targets, yielding the core to the peer process
+#: *is* the fast path; pure spinning would starve it, and a fixed long
+#: sleep would add latency exactly when the ring just drained.  No jitter:
+#: the wait schedule of a seeded run is reproducible.
+_BACKOFF_MIN_S = 0.00005
+_BACKOFF_MAX_S = 0.002
 
 
 class RingClosed(ClusterRuntimeError):
@@ -81,6 +87,15 @@ class Frame:
     @property
     def is_eof(self) -> bool:
         return self.kind == EOF
+
+
+@dataclass(slots=True)
+class InflightDrain:
+    """What a supervisor salvaged from a dead consumer's ring."""
+
+    frames: int  # DATA frames drained (never popped by the worker)
+    messages: int  # ids those frames carried — the exact in-flight loss
+    eof_seen: bool  # the producer had already closed the ring
 
 
 def ring_words(capacity_words: int) -> int:
@@ -244,15 +259,21 @@ class SpscRing:
         bounds the wait.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        backoff = _BACKOFF_MIN_S
         while not self.try_push(ids, base_index, dict_high_water, kind):
             if should_abort is not None and should_abort():
                 raise ClusterRuntimeError("push aborted")
             if deadline is not None and time.monotonic() > deadline:
+                words = self._words
                 raise ClusterRuntimeError(
                     f"push timed out after {timeout}s (ring full: consumer "
-                    f"stalled?)"
+                    f"stalled? producer={int(words[_PRODUCER])} "
+                    f"consumer={int(words[_CONSUMER])} "
+                    f"free={self.free_words()}/{self._capacity} words, "
+                    f"next push seq {self._next_push_seq})"
                 )
-            time.sleep(_POLL_SECONDS)
+            time.sleep(backoff)
+            backoff = min(backoff * 2, _BACKOFF_MAX_S)
 
     def close(self, timeout: float | None = None, should_abort=None) -> None:
         """Push the EOF poison pill (idempotent)."""
@@ -325,6 +346,7 @@ class SpscRing:
         to heartbeat and drain dictionary deltas while waiting.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        backoff = _BACKOFF_MIN_S
         while True:
             frame = self.try_pop()
             if frame is not None:
@@ -332,9 +354,74 @@ class SpscRing:
             if should_abort is not None and should_abort():
                 raise ClusterRuntimeError("pop aborted")
             if deadline is not None and time.monotonic() > deadline:
+                words = self._words
                 raise ClusterRuntimeError(
-                    f"pop timed out after {timeout}s (producer stalled?)"
+                    f"pop timed out after {timeout}s (producer stalled? "
+                    f"producer={int(words[_PRODUCER])} "
+                    f"consumer={int(words[_CONSUMER])} "
+                    f"pending={self.pending_words()} words, "
+                    f"awaiting seq {self._next_pop_seq})"
                 )
             if idle is not None:
                 idle()
-            time.sleep(_POLL_SECONDS)
+            time.sleep(backoff)
+            backoff = min(backoff * 2, _BACKOFF_MAX_S)
+
+    # ------------------------------------------------------------------ #
+    # supervisor side
+    # ------------------------------------------------------------------ #
+    def rebind(self) -> None:
+        """Reset this view's local cursors after an external re-init.
+
+        The supervisor re-initialises a crashed worker's ring in place
+        (fresh control words, positions back to zero); the source calls
+        ``rebind()`` on its producer view so its sequence counter and
+        closed flag match the reborn ring.  Local state only — the shared
+        words are untouched.
+        """
+        self._next_push_seq = 0
+        self._next_pop_seq = 0
+        self._closed = False
+
+    def drain_inflight(self) -> InflightDrain:
+        """Consume everything published but never popped (crash salvage).
+
+        Called by the supervisor *after* the dead consumer process is
+        reaped and *after* the producer is fenced off the ring, so both
+        positions are quiescent.  Unlike :meth:`try_pop` this walks from
+        wherever the dead consumer left the position and trusts the frame
+        sequence numbers it finds (the supervisor's view never popped, so
+        its own counter is meaningless); headers are still bounds-checked.
+        Returns the exact loss: DATA frames and the messages they carried.
+        """
+        words = self._words
+        capacity = self._capacity
+        frames = 0
+        messages = 0
+        eof_seen = False
+        while True:
+            consumer = int(words[_CONSUMER])
+            if int(words[_PRODUCER]) - consumer <= 0:
+                return InflightDrain(frames=frames, messages=messages, eof_seen=eof_seen)
+            offset = consumer % capacity
+            tail = capacity - offset
+            if tail < FRAME_HEADER_WORDS:
+                words[_CONSUMER] = consumer + tail
+                continue
+            base = CONTROL_WORDS + offset
+            kind = int(words[base + 1])
+            if kind == PAD:
+                words[_CONSUMER] = consumer + tail
+                continue
+            length = int(words[base + 2])
+            if length < 0 or FRAME_HEADER_WORDS + length > tail:
+                raise ClusterRuntimeError(
+                    f"corrupt frame header at offset {offset} while draining "
+                    f"in-flight frames: length={length}"
+                )
+            if kind == DATA:
+                frames += 1
+                messages += length
+            elif kind == EOF:
+                eof_seen = True
+            words[_CONSUMER] = consumer + FRAME_HEADER_WORDS + length

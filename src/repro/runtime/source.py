@@ -4,8 +4,10 @@ The source is the only router in the cluster — the same single-sender
 setting as ``run_simulation(num_sources=1)``, which is what makes the
 real-vs-simulated validation exact: both route the identical columnar
 stream through the identical partitioner seed, so the per-worker message
-counts must agree bit for bit (``validate_against_simulation`` asserts a
-tolerance anyway, for the day the runtime grows multiple sources).
+counts must agree bit for bit.  Faults never touch routing: the partitioner
+always routes over the full worker set, and recovery acts *after* routing,
+at the scatter step — which is what keeps the source's load vector
+bit-identical to the simulator even through crashes.
 
 Hot path per batch:
 
@@ -20,6 +22,31 @@ Hot path per batch:
    worker's delta pipe *before* the frame that needs them;
 5. every ``publish_every`` batches, publish the load vector and the
    SpaceSaving head summary into the shared state block for the monitor.
+
+Recovery protocol (supervisor -> source, one control pipe):
+
+* A failed worker is *fenced* in shared state the moment the supervisor
+  detects it — a push blocked on its ring unwinds instead of waiting out
+  the timeout, and the source adds the slot to its ``down`` set.
+* While a slot is down, its share is **redirected to the survivors** with
+  the candidate-set-remap rule (``key_id mod survivor_count``, the same
+  instant hash-derived remap the elasticity ``remap`` policy models): the
+  stream keeps flowing instead of stalling on a dead ring.
+* ``("recover", w, incarnation)`` — the supervisor respawned the worker
+  over a re-initialised ring.  The source rebinds its producer view,
+  resets the slot's delta cursor so the **whole dictionary replays** to
+  the fresh replica before its first frame, and re-adopts its routing
+  state through the partitioner's ``export_state``/``adopt_state``
+  contract — the same hot-handoff that powers adaptive scheme switching,
+  property-pinned byte-identical, so recovery cannot perturb routing.
+* ``("degrade", w)`` — the restart budget is exhausted; the redirect
+  becomes permanent and the slot's replica is priced as lost state.
+* ``("salvaged", w)`` — the worker died after the stream closed; the
+  supervisor salvaged the ring itself and no handoff is needed.
+
+Every recovery action is priced through the elasticity
+:class:`~repro.elasticity.accountant.MigrationCostAccountant` in the same
+keys-moved / entries-migrated / entries-lost currency as rescale events.
 """
 
 from __future__ import annotations
@@ -28,6 +55,9 @@ import time
 
 import numpy as np
 
+from repro.elasticity.accountant import MigrationCostAccountant
+from repro.elasticity.policies import CANDIDATE_SET_REMAP
+from repro.exceptions import ClusterRuntimeError
 from repro.partitioning.registry import create_partitioner
 from repro.runtime.state import SharedClusterState
 
@@ -49,14 +79,23 @@ def source_main(
     config,
     rings,
     state: SharedClusterState,
-    delta_conns,
+    delta_conn_pools,
     result_conn,
+    control_conn=None,
 ) -> None:
-    """Entry point of the source process (run under the fork context)."""
+    """Entry point of the source process (run under the fork context).
+
+    ``delta_conn_pools[w]`` is the list of delta-pipe send ends for worker
+    ``w``, one per incarnation (index 0 is the original worker, index k the
+    k-th respawn); ``control_conn`` is the receive end of the supervisor's
+    recovery channel (``None`` runs unsupervised, as the unit tests do).
+    """
+    n = config.num_workers
+    worker_range = range(n)
     try:
         partitioner = create_partitioner(
             config.scheme,
-            num_workers=config.num_workers,
+            num_workers=n,
             seed=config.seed,
             **dict(config.scheme_options),
         )
@@ -70,10 +109,154 @@ def source_main(
             time.sleep(0.0005)
 
         dictionary = None
-        sent_entries = [0] * config.num_workers
+        sent_entries = [0] * n
+        delta_incarnation = [0] * n
         batch_count = 0
-        worker_range = range(config.num_workers)
+
+        # Recovery bookkeeping: which slots are out of service, how much of
+        # whose share went where, and what each recovery cost.
+        down: set[int] = set()
+        degraded: set[int] = set()
+        salvaged: set[int] = set()
+        closed: set[int] = set()
+        redirected_out = [0] * n  # messages *intended* for w, sent elsewhere
+        redirected_in = [0] * n  # messages w absorbed for a down peer
+        redirected_keys: list[set[int]] = [set() for _ in worker_range]
+        accountant = MigrationCostAccountant(CANDIDATE_SET_REMAP)
+
+        def send_delta_if_needed(worker_id: int, high_water: int) -> None:
+            if sent_entries[worker_id] < high_water:
+                start = sent_entries[worker_id]
+                keys = [dictionary.key_of(kid) for kid in range(start, high_water)]
+                delta_conn_pools[worker_id][delta_incarnation[worker_id]].send(
+                    ("delta", start, keys)
+                )
+                sent_entries[worker_id] = high_water
+
+        def fence_aware(worker_id: int):
+            return lambda: state.aborted() or state.worker_fenced(worker_id)
+
+        def guarded_push(worker_id: int, ids, base_index: int) -> bool:
+            """Push one frame; ``False`` when the worker was fenced away.
+
+            Acknowledging the fence promises the supervisor the source will
+            not touch this ring again until the fence clears — only then is
+            the supervisor free to drain and re-initialise it.
+            """
+            try:
+                rings[worker_id].push(
+                    ids,
+                    base_index=base_index,
+                    dict_high_water=sent_entries[worker_id],
+                    should_abort=fence_aware(worker_id),
+                    timeout=config.push_timeout_s,
+                )
+                return True
+            except ClusterRuntimeError:
+                if state.aborted() or not state.worker_fenced(worker_id):
+                    raise
+                state.acknowledge_fence(worker_id)
+                return False
+
+        def redirect(intended: int, ids, base_index: int) -> None:
+            """Deliver a down slot's share to the survivors (key-mod remap)."""
+            redirected_keys[intended].update(int(kid) for kid in np.unique(ids))
+            remaining = ids
+            while True:
+                survivors = [w for w in worker_range if w not in down]
+                if not survivors:
+                    raise ClusterRuntimeError(
+                        f"no surviving workers to absorb worker {intended}'s "
+                        "share: every worker is out of service"
+                    )
+                assignment = remaining % len(survivors)
+                failed_parts = []
+                for index, survivor in enumerate(survivors):
+                    part = remaining[assignment == index]
+                    if not part.size:
+                        continue
+                    send_delta_if_needed(survivor, len(dictionary))
+                    if guarded_push(survivor, part, base_index):
+                        redirected_out[intended] += int(part.size)
+                        redirected_in[survivor] += int(part.size)
+                    else:
+                        down.add(survivor)
+                        failed_parts.append(part)
+                if not failed_parts:
+                    return
+                remaining = np.concatenate(failed_parts)
+
+        def poll_control(block_s: float = 0.0) -> None:
+            nonlocal partitioner
+            if control_conn is None:
+                return
+            while control_conn.poll(block_s):
+                block_s = 0.0
+                message = control_conn.recv()
+                op, worker_id = message[0], message[1]
+                if op == "recover":
+                    incarnation = message[2]
+                    rings[worker_id].rebind()
+                    closed.discard(worker_id)
+                    delta_incarnation[worker_id] = incarnation
+                    # Replay the whole dictionary to the fresh replica: the
+                    # delta cursor rewinds to zero, so the next frame (or
+                    # the EOF close) is preceded by entries [0, high water).
+                    sent_entries[worker_id] = 0
+                    replay_entries = len(dictionary) if dictionary is not None else 0
+                    head = _head_ids(partitioner) or {}
+                    # Re-adopt routing state across the fault epoch through
+                    # the hot-handoff contract: byte-identical to an
+                    # uninterrupted run (tests/property/test_state_roundtrip).
+                    snapshot = partitioner.export_state()
+                    fresh = create_partitioner(
+                        config.scheme,
+                        num_workers=n,
+                        seed=config.seed,
+                        **dict(config.scheme_options),
+                    )
+                    fresh.adopt_state(snapshot)
+                    partitioner = fresh
+                    accountant.record_recovery(
+                        offset=partitioner.messages_routed,
+                        description=f"recover:w{worker_id}",
+                        num_workers=n,
+                        keys_moved=len(redirected_keys[worker_id]),
+                        entries_migrated=replay_entries,
+                        entries_lost=0,
+                        head_keys_preserved=len(head),
+                    )
+                    redirected_keys[worker_id].clear()
+                    down.discard(worker_id)
+                elif op == "degrade":
+                    down.add(worker_id)
+                    degraded.add(worker_id)
+                    accountant.record_recovery(
+                        offset=partitioner.messages_routed,
+                        description=f"degrade:w{worker_id}",
+                        num_workers=n,
+                        keys_moved=len(redirected_keys[worker_id]),
+                        entries_migrated=0,
+                        entries_lost=sent_entries[worker_id],
+                        head_keys_preserved=0,
+                    )
+                elif op == "salvaged":
+                    down.add(worker_id)
+                    salvaged.add(worker_id)
+
+        def observe_fences() -> None:
+            # Pushes into a dead worker's not-yet-full ring succeed, so the
+            # fence must be polled proactively: the moment it is up, the
+            # slot leaves service and the supervisor may drain its ring
+            # knowing the drained count is final.
+            for worker_id in worker_range:
+                if worker_id not in down and state.worker_fenced(worker_id):
+                    state.acknowledge_fence(worker_id)
+                    down.add(worker_id)
+
         for batch in batches:
+            poll_control()
+            observe_fences()
             dictionary = batch.dictionary
             workers = np.asarray(
                 partitioner.route_batch_columnar(batch), dtype=np.int64
@@ -83,18 +266,13 @@ def source_main(
                 ids = batch.ids[workers == worker_id]
                 if not ids.size:
                     continue
-                if sent_entries[worker_id] < high_water:
-                    start = sent_entries[worker_id]
-                    keys = [dictionary.key_of(kid) for kid in range(start, high_water)]
-                    delta_conns[worker_id].send(("delta", start, keys))
-                    sent_entries[worker_id] = high_water
-                rings[worker_id].push(
-                    ids,
-                    base_index=batch.base_index,
-                    dict_high_water=sent_entries[worker_id],
-                    should_abort=state.aborted,
-                    timeout=config.push_timeout_s,
-                )
+                if worker_id in down:
+                    redirect(worker_id, ids, batch.base_index)
+                    continue
+                send_delta_if_needed(worker_id, high_water)
+                if not guarded_push(worker_id, ids, batch.base_index):
+                    down.add(worker_id)
+                    redirect(worker_id, ids, batch.base_index)
             batch_count += 1
             if batch_count % config.publish_every == 0:
                 state.publish_routing(
@@ -103,16 +281,45 @@ def source_main(
                     high_water,
                     head=_head_ids(partitioner),
                 )
-        for ring in rings:
-            ring.close(should_abort=state.aborted, timeout=config.push_timeout_s)
+
+        state.mark_source_done()
+        # Close the live rings; then linger briefly for any recovery still
+        # in flight — a replacement spawned moments before EOF must get its
+        # ring closed (and its dictionary replayed) or it would wait
+        # forever.  The supervisor answers every open failure with exactly
+        # one of recover/degrade/salvaged, so the linger exits promptly;
+        # the deadline is a backstop against a dead supervisor.
+        high_water = len(dictionary) if dictionary is not None else 0
+        deadline = time.monotonic() + config.recovery_linger_s
+        while True:
+            for worker_id in worker_range:
+                if worker_id in down or worker_id in closed:
+                    continue
+                send_delta_if_needed(worker_id, high_water)
+                try:
+                    rings[worker_id].close(
+                        should_abort=fence_aware(worker_id),
+                        timeout=config.push_timeout_s,
+                    )
+                    closed.add(worker_id)
+                except ClusterRuntimeError:
+                    if state.aborted() or not state.worker_fenced(worker_id):
+                        raise
+                    state.acknowledge_fence(worker_id)
+                    down.add(worker_id)
+            if not (down - degraded - salvaged):
+                break
+            if time.monotonic() > deadline:
+                break
+            poll_control(0.05)
+
         head = _head_ids(partitioner)
         state.publish_routing(
             partitioner.local_loads,
             partitioner.messages_routed,
-            len(dictionary) if dictionary is not None else 0,
+            high_water,
             head=head,
         )
-        state.mark_source_done()
         decoded_head = (
             {dictionary.key_of(kid): count for kid, count in head.items()}
             if head and dictionary is not None
@@ -125,7 +332,10 @@ def source_main(
                     "loads": partitioner.local_loads,
                     "messages_routed": partitioner.messages_routed,
                     "head": decoded_head,
-                    "dict_entries": len(dictionary) if dictionary is not None else 0,
+                    "dict_entries": high_water,
+                    "redirected_out": redirected_out,
+                    "redirected_in": redirected_in,
+                    "migration": accountant.report(),
                 },
             )
         )

@@ -21,7 +21,13 @@ Layout::
     words [8+n, 8+2n)            per-worker processed counts
     words [8+2n, 8+3n)           per-worker heartbeat (monotonic ns)
     words [8+3n, 8+4n)           per-worker ready flags
-    words [8+4n, 8+4n+2*cap)     head summary (key id, estimated count) pairs
+    words [8+4n, 8+5n)           per-worker fence flags (supervisor -> source)
+    words [8+5n, 8+5n+2*cap)     head summary (key id, estimated count) pairs
+
+A *fenced* worker is one the supervisor has taken out of service (crashed,
+hung, or being respawned): the source must stop pushing into its ring —
+a blocked push polls the fence and unwinds — and redirect its share to the
+survivors until the fence clears.
 """
 
 from __future__ import annotations
@@ -47,9 +53,18 @@ _FIXED_WORDS = 8
 DEFAULT_HEAD_CAPACITY = 64
 
 
+#: Per-worker sections of the state block, in layout order.
+_SECTION_LOADS = 0
+_SECTION_PROCESSED = 1
+_SECTION_HEARTBEAT = 2
+_SECTION_READY = 3
+_SECTION_FENCE = 4
+_WORKER_SECTIONS = 5
+
+
 def state_words(num_workers: int, head_capacity: int = DEFAULT_HEAD_CAPACITY) -> int:
     """Total int64 words the state block needs."""
-    return _FIXED_WORDS + 4 * num_workers + 2 * head_capacity
+    return _FIXED_WORDS + _WORKER_SECTIONS * num_workers + 2 * head_capacity
 
 
 @dataclass(slots=True)
@@ -154,28 +169,73 @@ class SharedClusterState:
         return _FIXED_WORDS + section * self._num_workers + worker_id
 
     def mark_ready(self, worker_id: int) -> None:
-        self._words[self._slot(3, worker_id)] = 1
+        self._words[self._slot(_SECTION_READY, worker_id)] = 1
+
+    def worker_ready(self, worker_id: int) -> bool:
+        return bool(self._words[self._slot(_SECTION_READY, worker_id)])
 
     def all_ready(self) -> bool:
-        base = _FIXED_WORDS + 3 * self._num_workers
+        base = _FIXED_WORDS + _SECTION_READY * self._num_workers
         return bool(self._words[base : base + self._num_workers].all())
 
     def heartbeat(self, worker_id: int) -> None:
-        self._words[self._slot(2, worker_id)] = time.monotonic_ns()
+        self._words[self._slot(_SECTION_HEARTBEAT, worker_id)] = time.monotonic_ns()
 
     def heartbeat_age_s(self, worker_id: int) -> float:
         """Seconds since the worker's last heartbeat (inf before the first)."""
-        stamp = int(self._words[self._slot(2, worker_id)])
+        stamp = int(self._words[self._slot(_SECTION_HEARTBEAT, worker_id)])
         if stamp == 0:
             return float("inf")
         return (time.monotonic_ns() - stamp) / 1e9
 
     def add_processed(self, worker_id: int, count: int) -> None:
-        self._words[self._slot(1, worker_id)] += count
+        self._words[self._slot(_SECTION_PROCESSED, worker_id)] += count
 
     def worker_processed(self) -> list[int]:
-        base = _FIXED_WORDS + self._num_workers
+        base = _FIXED_WORDS + _SECTION_PROCESSED * self._num_workers
         return [int(v) for v in self._words[base : base + self._num_workers]]
+
+    # ------------------------------------------------------------------ #
+    # supervisor fencing (worker recovery)
+    # ------------------------------------------------------------------ #
+    def fence_worker(self, worker_id: int) -> None:
+        """Take a worker out of service: the source must stop pushing to it.
+
+        Set by the supervisor the moment a failure is detected, *before*
+        the dead incarnation is reaped — a source blocked pushing into the
+        dead ring polls the fence and unwinds instead of waiting out its
+        full push timeout.  The fence word is a tiny handshake: ``1`` =
+        fenced by the supervisor, ``2`` = the source acknowledged (it will
+        not touch the ring again until the fence clears) — only then may
+        the supervisor drain and re-initialise the ring without racing a
+        straggling push.
+        """
+        self._words[self._slot(_SECTION_FENCE, worker_id)] = 1
+
+    def acknowledge_fence(self, worker_id: int) -> None:
+        """Source side: promise no further ring operations on this slot."""
+        self._words[self._slot(_SECTION_FENCE, worker_id)] = 2
+
+    def clear_fence(self, worker_id: int) -> None:
+        self._words[self._slot(_SECTION_FENCE, worker_id)] = 0
+
+    def worker_fenced(self, worker_id: int) -> bool:
+        return bool(self._words[self._slot(_SECTION_FENCE, worker_id)])
+
+    def fence_acknowledged(self, worker_id: int) -> bool:
+        return int(self._words[self._slot(_SECTION_FENCE, worker_id)]) == 2
+
+    def reset_worker(self, worker_id: int) -> None:
+        """Prepare a slot for a respawned incarnation.
+
+        Clears the ready flag (the replacement re-raises it as its startup
+        barrier) and the heartbeat stamp (so the monitor's startup grace,
+        not the stale-age check, governs the replacement's first beats).
+        The processed count is deliberately *kept*: it is the cumulative
+        delivered-message ledger of the slot across incarnations.
+        """
+        self._words[self._slot(_SECTION_READY, worker_id)] = 0
+        self._words[self._slot(_SECTION_HEARTBEAT, worker_id)] = 0
 
     # ------------------------------------------------------------------ #
     # source-side publication
@@ -201,7 +261,7 @@ class SharedClusterState:
         if head is None:
             return
         top = sorted(head.items(), key=lambda item: -item[1])[: self._head_capacity]
-        base = _FIXED_WORDS + 4 * n
+        base = _FIXED_WORDS + _WORKER_SECTIONS * n
         for index, (kid, count) in enumerate(top):
             words[base + 2 * index] = kid
             words[base + 2 * index + 1] = count
@@ -224,7 +284,7 @@ class SharedClusterState:
     def head_summary(self) -> dict[int, int]:
         """The published head (key id -> estimated count), largest first."""
         size = int(self._words[_HEAD_SIZE])
-        base = _FIXED_WORDS + 4 * self._num_workers
+        base = _FIXED_WORDS + _WORKER_SECTIONS * self._num_workers
         pairs = self._words[base : base + 2 * size]
         return {
             int(pairs[2 * index]): int(pairs[2 * index + 1])

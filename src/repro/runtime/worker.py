@@ -16,6 +16,12 @@ Per-message *service time* models the downstream operator's real work
 CPU — which is exactly what makes multi-worker scaling observable on the
 single-core containers this runtime is benchmarked on (see
 ``docs/runtime.md``).
+
+Fault injection rides in as a :class:`~repro.runtime.faults.WorkerFaults`
+programme (parsed from a :class:`~repro.runtime.faults.FaultPlan` spec in
+the coordinator): deterministic crash/hang trigger points in processed
+messages, a service-time multiplier, and a dictionary-delta drop count that
+provokes the replica's gap detector — the supervised-recovery test matrix.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.runtime.faults import CRASH_EXIT_CODE, WorkerFaults
 from repro.runtime.ring import SpscRing
 from repro.runtime.state import SharedClusterState
 
@@ -33,16 +40,32 @@ from repro.runtime.state import SharedClusterState
 #: the dictionary replica — the e2e proof that delta sync works).
 TOP_KEYS = 5
 
+#: The source sends a frame's dictionary delta strictly *before* the frame
+#: itself, over an ordered pipe — so a worker that popped a frame and still
+#: cannot cover its high water after this long has lost a delta, not met a
+#: slow source.  Raising turns a silent starvation deadlock (the worker
+#: heartbeats while waiting, so no detector fires) into a protocol error
+#: the supervisor answers with a respawn and a full dictionary replay.
+DELTA_STARVATION_TIMEOUT_S = 2.0
+
 
 @dataclass(slots=True)
 class WorkerResult:
-    """What one worker reports after draining its ring."""
+    """What one worker reports after draining its ring.
+
+    ``salvaged`` marks a result the *supervisor* synthesized from the
+    shared processed ledger because the worker slot could not report for
+    itself (crash after the stream closed, or a slot degraded to the
+    survivors after its restart budget ran out); ``frames``/``dict_entries``
+    /``top_keys`` are unknown for such slots and left at their zero values.
+    """
 
     worker_id: int
     processed: int
     frames: int
     dict_entries: int
     top_keys: list = field(default_factory=list)
+    salvaged: bool = False
 
 
 class DictionaryReplica:
@@ -72,25 +95,58 @@ class DictionaryReplica:
         self._keys.extend(keys[have - start_id :])
 
 
-def _drain_deltas(conn, replica: DictionaryReplica) -> None:
+def _drain_deltas(
+    conn, replica: DictionaryReplica, faults: WorkerFaults | None = None
+) -> None:
     """Apply every delta currently buffered in the pipe (non-blocking)."""
     while conn.poll(0):
         kind, start_id, keys = conn.recv()
-        if kind == "delta":
-            replica.apply(start_id, keys)
+        if kind != "delta":
+            continue
+        if faults is not None and faults.take_delta_drop():
+            continue  # injected transport fault: swallow the delta
+        replica.apply(start_id, keys)
 
 
-def _await_dictionary(conn, replica: DictionaryReplica, high_water: int, state) -> None:
-    """Block until the replica covers ``high_water`` entries."""
+def _await_dictionary(
+    conn,
+    replica: DictionaryReplica,
+    high_water: int,
+    state,
+    worker_id: int = 0,
+    faults: WorkerFaults | None = None,
+) -> None:
+    """Block until the replica covers ``high_water`` entries.
+
+    Heartbeats while waiting — a worker stalled on a slow delta pipe is
+    healthy, and must not trip the monitor's hang detector.  But the wait
+    is bounded: the needed delta was sent before the frame that demands it,
+    so a pipe that stays silent past ``DELTA_STARVATION_TIMEOUT_S`` means
+    the delta is gone and waiting longer would deadlock the slot.
+    """
+    last_progress = time.monotonic()
     while len(replica) < high_water:
         if state.aborted():
             from repro.exceptions import ClusterRuntimeError
 
             raise ClusterRuntimeError("aborted while awaiting dictionary delta")
+        state.heartbeat(worker_id)
         if conn.poll(0.05):
             kind, start_id, keys = conn.recv()
-            if kind == "delta":
-                replica.apply(start_id, keys)
+            if kind != "delta":
+                continue
+            if faults is not None and faults.take_delta_drop():
+                continue
+            replica.apply(start_id, keys)
+            last_progress = time.monotonic()
+        elif time.monotonic() - last_progress > DELTA_STARVATION_TIMEOUT_S:
+            from repro.exceptions import ClusterRuntimeError
+
+            raise ClusterRuntimeError(
+                f"dictionary delta gap: replica holds {len(replica)} of "
+                f"{high_water} entries and no delta arrived for "
+                f"{DELTA_STARVATION_TIMEOUT_S}s (delta lost in transport?)"
+            )
 
 
 def worker_main(
@@ -100,20 +156,30 @@ def worker_main(
     delta_conn,
     result_conn,
     service_ns: int = 0,
-    fault=None,
+    faults: WorkerFaults | None = None,
 ) -> None:
     """Entry point of one worker process (run under the fork context).
 
-    ``fault`` injects failures for the crash-detection tests:
-    ``("crash", after_messages)`` hard-exits the process,
-    ``("hang", after_messages)`` stops heartbeating and frame-popping
-    forever.  ``None`` in production.
+    ``faults`` is this incarnation's injected fault programme (``None`` in
+    production): ``crash_after`` hard-exits the process once that many
+    messages are processed, ``hang_after`` stops heartbeating and
+    frame-popping forever, ``service_factor`` multiplies the modelled
+    service time, and ``drop_deltas`` swallows dictionary deltas to provoke
+    the replica's gap detector.
     """
     replica = DictionaryReplica()
     counts = np.zeros(1024, dtype=np.int64)
     processed = 0
     frames = 0
-    fault_kind, fault_after = fault if fault is not None else (None, -1)
+    # Messages popped off the ring but not yet counted as delivered: a pop
+    # advances the consumer cursor immediately, so a frame in hand when the
+    # worker dies is invisible to the supervisor's ring drain.  It rides
+    # along on the error report so the loss ledger stays exact.
+    inflight_msgs = 0
+    if faults is not None and faults.service_factor > 1:
+        service_ns = service_ns * faults.service_factor
+    crash_after = faults.crash_after if faults is not None else -1
+    hang_after = faults.hang_after if faults is not None else -1
 
     state.mark_ready(worker_id)
     state.heartbeat(worker_id)
@@ -124,16 +190,20 @@ def worker_main(
 
     def idle() -> None:
         state.heartbeat(worker_id)
-        _drain_deltas(delta_conn, replica)
+        _drain_deltas(delta_conn, replica, faults)
 
     try:
         while True:
             frame = ring.pop(should_abort=state.aborted, idle=idle)
             if frame.is_eof:
                 break
+            inflight_msgs = int(frame.ids.size)
             if frame.dict_high_water > len(replica):
-                _drain_deltas(delta_conn, replica)
-                _await_dictionary(delta_conn, replica, frame.dict_high_water, state)
+                _drain_deltas(delta_conn, replica, faults)
+                _await_dictionary(
+                    delta_conn, replica, frame.dict_high_water, state,
+                    worker_id, faults,
+                )
             ids = frame.ids
             high = int(ids.max()) + 1 if ids.size else 0
             if high > counts.size:
@@ -146,14 +216,16 @@ def worker_main(
             if service_ns:
                 time.sleep(service_ns * ids.size / 1e9)
             state.add_processed(worker_id, int(ids.size))
+            inflight_msgs = 0
             state.heartbeat(worker_id)
-            if fault_kind is not None and processed >= fault_after:
-                if fault_kind == "crash":
-                    os._exit(17)
-                if fault_kind == "hang":
-                    while not state.aborted():
-                        time.sleep(0.01)
-                    return
+            if crash_after >= 0 and processed >= crash_after:
+                os._exit(CRASH_EXIT_CODE)
+            if hang_after >= 0 and processed >= hang_after:
+                # Wedge without dying: no heartbeats, no pops.  A supervisor
+                # terminates the process; an unsupervised run aborts.
+                while not state.aborted():
+                    time.sleep(0.01)
+                return
         top_ids = np.argsort(counts)[::-1][:TOP_KEYS]
         top_keys = [
             (replica.key_of(int(kid)), int(counts[kid]))
@@ -174,7 +246,15 @@ def worker_main(
         )
     except Exception as error:  # surfaced by the coordinator, not lost
         try:
-            result_conn.send(("error", worker_id, repr(error)))
+            result_conn.send(
+                (
+                    "error",
+                    worker_id,
+                    repr(error),
+                    inflight_msgs,
+                    1 if inflight_msgs else 0,
+                )
+            )
         except (BrokenPipeError, OSError):
             pass
     finally:

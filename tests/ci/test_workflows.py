@@ -56,6 +56,7 @@ class TestCiWorkflow:
             "suite-smoke",
             "scenario-regression",
             "cluster-smoke",
+            "chaos-smoke",
         } <= set(ci["jobs"])
 
     def test_lint_runs_ruff_over_all_source_trees(self, ci):
@@ -124,6 +125,22 @@ class TestCiWorkflow:
         assert "--schemes PKG@w4" in commands
         assert "--min-value 1.5" in commands
 
+    def test_chaos_smoke_runs_the_fault_injection_matrix(self, ci):
+        # The chaos tests inject deterministic crash/hang/degrade/salvage
+        # faults into real processes and assert exact stream conservation;
+        # they are opt-in via the `chaos` marker and must run on every PR.
+        commands = _job_commands(ci["jobs"]["chaos-smoke"])
+        assert "pytest -q -m chaos tests/runtime" in commands
+
+    def test_chaos_smoke_validates_a_recovered_cli_run(self, ci):
+        # The CLI smoke must inject a mid-run crash, validate against the
+        # simulator, and tolerate exit 3 (degraded-but-complete) while
+        # still failing on exit 1 (conservation/validation violation).
+        commands = _job_commands(ci["jobs"]["chaos-smoke"])
+        assert "cluster-run --inject crash@w1:2000" in commands
+        assert "--validate" in commands
+        assert "test $? -eq 3" in commands
+
     def test_pr_job_smokes_the_columnar_bench(self, ci):
         # A PR that knocks the columnar path off its id-array fast path
         # fails here, not a day later in the nightly guard.
@@ -188,6 +205,7 @@ class TestReferencedPathsExist:
             "BENCH_cluster.json",
             "pyproject.toml",
             "docs/ci.md",
+            "docs/fault_tolerance.md",
             "tests/scenarios",
             "tests/runtime",
         ],

@@ -1,0 +1,38 @@
+"""Fixtures for the runtime tests.
+
+The leak check is autouse: every runtime test — including the chaos ones
+that kill workers mid-stream — must leave ``/dev/shm`` exactly as it found
+it.  ``run_cluster`` owns every shared-memory segment it creates and
+unlinks them in its ``finally`` block even when a run crashes, degrades or
+raises; a segment surviving a test is a real resource leak, not noise.
+"""
+
+from __future__ import annotations
+
+import gc
+import glob
+import os
+
+import pytest
+
+_SHM_DIR = "/dev/shm"
+
+
+def _shm_segments() -> set[str]:
+    # CPython names multiprocessing.shared_memory segments psm_<token>.
+    return set(glob.glob(os.path.join(_SHM_DIR, "psm_*")))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shared_memory():
+    """Assert the test left no shared-memory segment behind."""
+    if not os.path.isdir(_SHM_DIR):  # non-Linux: nothing to observe
+        yield
+        return
+    before = _shm_segments()
+    yield
+    # Views pinned by collectable cycles would hold mappings open; collect
+    # before measuring so the check sees only genuine leaks.
+    gc.collect()
+    leaked = _shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"

@@ -99,25 +99,45 @@ class TestEndToEnd:
 
 
 class TestFailureHandling:
+    """Strict mode: supervision disabled, failures raise as in PR 8."""
+
     def test_worker_crash_raises_naming_the_worker(self):
-        config = small_config(worker_fault=(1, "crash", 2_000))
+        # Small rings keep the source backpressured behind the crashed
+        # worker, so the failure is detected mid-stream deterministically
+        # (with roomy rings the whole share buffers, the source finishes,
+        # and the end-of-stream salvage path completes the run instead).
+        config = small_config(
+            inject="crash@w1:2000",
+            max_restarts=0,
+            degrade_when_exhausted=False,
+            ring_capacity_words=2_048,
+        )
         with pytest.raises(WorkerCrashError) as excinfo:
             run_cluster(config)
         error = excinfo.value
         assert error.worker_id == 1
         assert "worker 1" in str(error)
+        assert error.restarts == 0
         # Healthy workers' progress is salvaged into the partial payload.
         assert error.partial is not None
         assert sum(error.partial["worker_processed"]) > 0
 
     def test_worker_hang_detected_by_heartbeat_timeout(self):
         config = small_config(
-            worker_fault=(0, "hang", 2_000), heartbeat_timeout_s=0.4
+            inject="hang@w0:2000",
+            heartbeat_timeout_s=0.4,
+            max_restarts=0,
+            degrade_when_exhausted=False,
+            ring_capacity_words=2_048,
         )
         with pytest.raises(WorkerCrashError) as excinfo:
             run_cluster(config)
         assert excinfo.value.worker_id == 0
         assert "heartbeat" in str(excinfo.value)
+
+    def test_fault_plan_naming_a_missing_worker_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="names worker 7"):
+            small_config(inject="crash@w7:100")
 
 
 class TestScaling:

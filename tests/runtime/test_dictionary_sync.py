@@ -22,9 +22,14 @@ from repro.runtime.worker import (
 class FakeState:
     def __init__(self, aborted: bool = False) -> None:
         self._aborted = aborted
+        self.heartbeats = 0
 
     def aborted(self) -> bool:
         return self._aborted
+
+    def heartbeat(self, worker_id: int) -> None:
+        # A worker waiting on a delta is healthy and must keep beating.
+        self.heartbeats += 1
 
 
 @pytest.fixture
@@ -95,3 +100,24 @@ class TestAwait:
             _await_dictionary(
                 receive, replica, high_water=5, state=FakeState(aborted=True)
             )
+
+    def test_heartbeats_while_waiting(self, pipe):
+        receive, send = pipe
+        replica = DictionaryReplica()
+        state = FakeState()
+        send.send(("delta", 0, ["a", "b"]))
+        _await_dictionary(receive, replica, high_water=2, state=state)
+        assert state.heartbeats > 0
+
+    def test_silent_pipe_raises_instead_of_deadlocking(self, pipe, monkeypatch):
+        # The needed delta is sent before the frame that demands it, so a
+        # pipe that stays silent means the delta is lost — the wait must
+        # surface a protocol error, not starve forever while heartbeating
+        # (a heartbeating waiter trips no hang detector).
+        import repro.runtime.worker as worker_module
+
+        monkeypatch.setattr(worker_module, "DELTA_STARVATION_TIMEOUT_S", 0.1)
+        receive, _ = pipe
+        replica = DictionaryReplica()
+        with pytest.raises(ClusterRuntimeError, match="delta gap"):
+            _await_dictionary(receive, replica, high_water=5, state=FakeState())

@@ -240,6 +240,105 @@ class TestEof:
         assert consumer.try_pop() is None
 
 
+class TestTimeoutDiagnostics:
+    """Ring timeout errors carry the positions needed to debug a stall."""
+
+    def test_push_timeout_names_positions_and_sequence(self):
+        producer, _, _ = make_ring(capacity_words=32)
+        pushed = 0
+        while producer.try_push(np.array([1], dtype=np.int64)):
+            pushed += 1
+        with pytest.raises(ClusterRuntimeError) as excinfo:
+            producer.push(np.array([2], dtype=np.int64), timeout=0.05)
+        message = str(excinfo.value)
+        assert "producer=" in message
+        assert "consumer=0" in message
+        assert f"next push seq {pushed}" in message
+        assert "/32 words" in message
+
+    def test_pop_timeout_names_positions_and_awaited_seq(self):
+        producer, consumer, _ = make_ring(capacity_words=32)
+        producer.try_push(np.array([1], dtype=np.int64))
+        consumer.try_pop()
+        with pytest.raises(ClusterRuntimeError) as excinfo:
+            consumer.pop(timeout=0.05)
+        message = str(excinfo.value)
+        assert "producer=" in message
+        assert "consumer=" in message
+        assert "pending=0 words" in message
+        assert "awaiting seq 1" in message
+
+    def test_backoff_bounds_are_sane(self):
+        from repro.runtime.ring import _BACKOFF_MAX_S, _BACKOFF_MIN_S
+
+        # Deterministic (no jitter) and bounded: doubles from the floor,
+        # never sleeps past the cap.
+        assert 0 < _BACKOFF_MIN_S < _BACKOFF_MAX_S
+        assert _BACKOFF_MAX_S <= 0.01
+
+
+class TestSupervisorSalvage:
+    """rebind() and drain_inflight() — the recovery side of the protocol."""
+
+    def test_drain_counts_unpopped_frames_and_messages(self):
+        producer, consumer, _ = make_ring()
+        producer.try_push(np.array([1, 2, 3], dtype=np.int64))
+        producer.try_push(np.array([4], dtype=np.int64))
+        consumer.try_pop()  # the dead worker got one frame out
+        drain = producer.drain_inflight()
+        assert drain.frames == 1
+        assert drain.messages == 1
+        assert not drain.eof_seen
+        assert producer.free_words() == producer.capacity_words
+
+    def test_drain_sees_eof_and_skips_pads(self):
+        producer, consumer, _ = make_ring(capacity_words=32)
+        # Force a PAD: a 7-word frame leaves offset 12, the next 4-id frame
+        # needs 9 words > 20-word tail only after another frame...  simply
+        # push until wrap occurs, popping none.
+        producer.try_push(np.arange(7, dtype=np.int64))
+        producer.close()
+        drain = producer.drain_inflight()
+        assert drain.frames == 1
+        assert drain.messages == 7
+        assert drain.eof_seen
+
+    def test_drain_from_mid_stream_position(self):
+        # drain_inflight trusts whatever position the dead consumer left —
+        # its own local pop counter must not matter.
+        producer, consumer, buffer = make_ring()
+        for index in range(3):
+            producer.try_push(np.full(2, index, dtype=np.int64))
+        consumer.try_pop()
+        supervisor_view = SpscRing(buffer)  # fresh attach, never popped
+        drain = supervisor_view.drain_inflight()
+        assert drain.frames == 2
+        assert drain.messages == 4
+
+    def test_rebind_after_reinit_restarts_sequences(self):
+        producer, consumer, buffer = make_ring(capacity_words=32)
+        producer.try_push(np.array([1, 2], dtype=np.int64))
+        producer.close()
+        # Supervisor re-initialises the ring in place for the replacement.
+        SpscRing(buffer, 32, create=True)
+        producer.rebind()
+        assert producer.free_words() == 32
+        producer.try_push(np.array([9], dtype=np.int64), base_index=5)
+        replacement = SpscRing(buffer)
+        frame = replacement.try_pop()
+        assert frame.seq == 0
+        assert frame.base_index == 5
+        assert frame.ids.tolist() == [9]
+
+    def test_rebind_reopens_a_closed_producer(self):
+        producer, _, buffer = make_ring(capacity_words=32)
+        producer.close()
+        SpscRing(buffer, 32, create=True)
+        producer.rebind()
+        producer.close()  # would raise RingClosed without the rebind
+        assert SpscRing(buffer).try_pop().is_eof
+
+
 class TestConstruction:
     def test_create_requires_capacity(self):
         with pytest.raises(ClusterRuntimeError):

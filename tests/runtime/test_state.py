@@ -67,6 +67,48 @@ class TestWorkerSlots:
             state.add_processed(-1, 1)
 
 
+class TestFencing:
+    def test_fence_handshake_transitions(self):
+        state = make_state(num_workers=2)
+        assert not state.worker_fenced(1)
+        state.fence_worker(1)
+        assert state.worker_fenced(1)
+        assert not state.fence_acknowledged(1)
+        state.acknowledge_fence(1)
+        assert state.worker_fenced(1)  # acked is still out of service
+        assert state.fence_acknowledged(1)
+        state.clear_fence(1)
+        assert not state.worker_fenced(1)
+        assert not state.fence_acknowledged(1)
+
+    def test_fences_are_per_worker(self):
+        state = make_state(num_workers=3)
+        state.fence_worker(1)
+        assert [state.worker_fenced(w) for w in range(3)] == [False, True, False]
+
+    def test_reset_worker_clears_ready_and_heartbeat_keeps_ledger(self):
+        state = make_state(num_workers=2)
+        state.mark_ready(0)
+        state.heartbeat(0)
+        state.add_processed(0, 42)
+        state.reset_worker(0)
+        assert not state.worker_ready(0)
+        assert state.heartbeat_age_s(0) == float("inf")
+        # The processed count is the slot's cumulative delivered ledger —
+        # it must survive the respawn.
+        assert state.worker_processed() == [42, 0]
+
+    def test_fence_and_head_sections_do_not_alias(self):
+        # Regression for the layout shift to five per-worker sections: a
+        # fence write must never land in the head-summary region.
+        state = make_state(num_workers=2, head_capacity=2)
+        state.publish_routing([1, 1], 2, 3, head={10: 100, 12: 50})
+        state.fence_worker(0)
+        state.fence_worker(1)
+        assert state.head_summary() == {10: 100, 12: 50}
+        assert state.source_loads() == [1, 1]
+
+
 class TestRoutingPublication:
     def test_loads_and_counters_roundtrip(self):
         state = make_state(num_workers=3)
